@@ -1,0 +1,34 @@
+"""Benchmark-harness helpers.
+
+Each ``test_eXX_*.py`` regenerates one experiment of EXPERIMENTS.md: it
+computes the experiment's table once (module-scoped fixture), asserts
+the reproduction targets, writes the rendered table to
+``benchmarks/out/EXX.txt``, echoes it to the terminal, and times the
+experiment's hot path with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).resolve().parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def publish(out_dir):
+    """Write an experiment's rendered table and echo it."""
+
+    def _publish(experiment_id: str, text: str) -> None:
+        path = out_dir / f"{experiment_id}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[{experiment_id} written to {path}]")
+
+    return _publish

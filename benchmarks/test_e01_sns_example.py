@@ -1,0 +1,46 @@
+"""E1 — §5.2.1 worked example: static negotiation status per offer.
+
+Regenerates the paper's table: offers 1–3 CONSTRAINT, offer 4 ACCEPTABLE
+(QoS equal to desired, cost above the maximum), and times the SNS
+computation.
+"""
+
+import pytest
+
+from repro.core.classification import compute_sns
+from repro.paperdata import (
+    EXPECTED_SNS,
+    section_5_offers,
+    section_521_profile,
+)
+from repro.util.tables import render_table
+
+
+@pytest.fixture(scope="module")
+def computed():
+    offers = section_5_offers()
+    profile = section_521_profile()
+    return [(offer, compute_sns(offer, profile)) for offer in offers]
+
+
+def test_e01_sns_table(benchmark, computed, publish):
+    offers = section_5_offers()
+    profile = section_521_profile()
+
+    benchmark(lambda: [compute_sns(offer, profile) for offer in offers])
+
+    rows = []
+    for offer, sns in computed:
+        qos = next(iter(offer.presented.values()))
+        expected = EXPECTED_SNS[offer.offer_id]
+        assert sns.name == expected, offer.offer_id
+        rows.append((offer.offer_id, str(qos), str(offer.cost), sns.name, expected))
+    publish(
+        "E01",
+        render_table(
+            ("offer", "QoS", "cost", "SNS (measured)", "SNS (paper)"),
+            rows,
+            title="E1 - Sec 5.2.1: static negotiation status "
+                  "(user asks color/TV/25 f/s, max $4.00)",
+        ),
+    )

@@ -1,0 +1,55 @@
+"""E2 — §5.2.2 setting (1): OIF values and classification order.
+
+Importance: color 9, grey 6, b&w 2, TV resolution 9, 25 f/s 9,
+15 f/s 5, cost importance 4.  Paper: OIF {10, 7, 12, 7}; classification
+offer4, offer3, offer1, offer2 (SNS primary, OIF secondary).
+"""
+
+import pytest
+
+from repro.core.classification import classify_offers
+from repro.paperdata import (
+    EXPECTED_OIF_SETTING_1,
+    EXPECTED_ORDER_SETTING_1,
+    importance_setting_1,
+    section_5_offers,
+    section_521_profile,
+)
+from repro.util.tables import render_table
+
+
+@pytest.fixture(scope="module")
+def ranked():
+    importance = importance_setting_1()
+    profile = section_521_profile(importance)
+    return classify_offers(section_5_offers(), profile, importance)
+
+
+def test_e02_oif_and_order(benchmark, ranked, publish):
+    importance = importance_setting_1()
+    profile = section_521_profile(importance)
+    offers = section_5_offers()
+
+    benchmark(lambda: classify_offers(offers, profile, importance))
+
+    measured_order = tuple(c.offer.offer_id for c in ranked)
+    assert measured_order == EXPECTED_ORDER_SETTING_1
+
+    rows = []
+    for rank, classified in enumerate(ranked, start=1):
+        name = classified.offer.offer_id
+        expected = EXPECTED_OIF_SETTING_1[name]
+        assert classified.oif == pytest.approx(expected), name
+        rows.append(
+            (rank, name, str(classified.sns), classified.oif, expected,
+             str(classified.offer.cost))
+        )
+    publish(
+        "E02",
+        render_table(
+            ("rank", "offer", "SNS", "OIF (measured)", "OIF (paper)", "cost"),
+            rows,
+            title="E2 - Sec 5.2.2 setting 1 (cost importance 4): "
+                  f"paper order {', '.join(EXPECTED_ORDER_SETTING_1)}",
+        ),
+    )

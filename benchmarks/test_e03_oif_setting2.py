@@ -1,0 +1,52 @@
+"""E3 — §5.2.2 setting (2): cost importance 0 ("the QoS is the main
+constraint").  Paper: OIF {20, 23, 24, 27}; order offer4, offer3,
+offer2, offer1.
+"""
+
+import pytest
+
+from repro.core.classification import classify_offers
+from repro.paperdata import (
+    EXPECTED_OIF_SETTING_2,
+    EXPECTED_ORDER_SETTING_2,
+    importance_setting_2,
+    section_5_offers,
+    section_521_profile,
+)
+from repro.util.tables import render_table
+
+
+@pytest.fixture(scope="module")
+def ranked():
+    importance = importance_setting_2()
+    profile = section_521_profile(importance)
+    return classify_offers(section_5_offers(), profile, importance)
+
+
+def test_e03_oif_and_order(benchmark, ranked, publish):
+    importance = importance_setting_2()
+    profile = section_521_profile(importance)
+    offers = section_5_offers()
+
+    benchmark(lambda: classify_offers(offers, profile, importance))
+
+    measured_order = tuple(c.offer.offer_id for c in ranked)
+    assert measured_order == EXPECTED_ORDER_SETTING_2
+
+    rows = []
+    for rank, classified in enumerate(ranked, start=1):
+        name = classified.offer.offer_id
+        expected = EXPECTED_OIF_SETTING_2[name]
+        assert classified.oif == pytest.approx(expected), name
+        rows.append(
+            (rank, name, str(classified.sns), classified.oif, expected)
+        )
+    publish(
+        "E03",
+        render_table(
+            ("rank", "offer", "SNS", "OIF (measured)", "OIF (paper)"),
+            rows,
+            title="E3 - Sec 5.2.2 setting 2 (cost importance 0): "
+                  f"paper order {', '.join(EXPECTED_ORDER_SETTING_2)}",
+        ),
+    )

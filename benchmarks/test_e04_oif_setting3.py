@@ -1,0 +1,88 @@
+"""E4 — §5.2.2 setting (3): all QoS importances 0, cost importance 4
+("the cost is the main constraint").
+
+Paper: OIF {−10, −16, −12, −20} and the printed order offer1, offer3,
+offer2, offer4 — the *pure-OIF* order.  Under the SNS-primary rule the
+paper states in §5.2.2(c), offer4 (the only ACCEPTABLE offer) would rank
+first; the COST_GATED policy (cost overrun breaks acceptability)
+recovers the printed order.  All three policies are tabled.
+"""
+
+import pytest
+
+from repro.core.classification import ClassificationPolicy, classify_offers
+from repro.paperdata import (
+    EXPECTED_OIF_SETTING_3,
+    EXPECTED_ORDER_SETTING_3,
+    importance_setting_3,
+    section_5_offers,
+    section_521_profile,
+)
+from repro.util.tables import render_table
+
+
+@pytest.fixture(scope="module")
+def per_policy():
+    importance = importance_setting_3()
+    profile = section_521_profile(importance)
+    offers = section_5_offers()
+    return {
+        policy: classify_offers(offers, profile, importance, policy=policy)
+        for policy in ClassificationPolicy
+    }
+
+
+def test_e04_oif_values_and_orders(benchmark, per_policy, publish):
+    importance = importance_setting_3()
+    profile = section_521_profile(importance)
+    offers = section_5_offers()
+
+    benchmark(
+        lambda: classify_offers(
+            offers, profile, importance, policy=ClassificationPolicy.PURE_OIF
+        )
+    )
+
+    # OIF values match the paper exactly under every policy.
+    for ranked in per_policy.values():
+        for classified in ranked:
+            assert classified.oif == pytest.approx(
+                EXPECTED_OIF_SETTING_3[classified.offer.offer_id]
+            )
+
+    pure = tuple(
+        c.offer.offer_id for c in per_policy[ClassificationPolicy.PURE_OIF]
+    )
+    gated = tuple(
+        c.offer.offer_id for c in per_policy[ClassificationPolicy.COST_GATED]
+    )
+    sns_primary = tuple(
+        c.offer.offer_id for c in per_policy[ClassificationPolicy.SNS_PRIMARY]
+    )
+    assert pure == EXPECTED_ORDER_SETTING_3          # the paper's printed order
+    assert gated == EXPECTED_ORDER_SETTING_3         # recovered via cost gating
+    assert sns_primary[0] == "offer4"                # the stated rule's order
+
+    rows = [
+        ("paper (printed)", ", ".join(EXPECTED_ORDER_SETTING_3)),
+        ("pure-OIF", ", ".join(pure)),
+        ("cost-gated", ", ".join(gated)),
+        ("sns-primary (stated rule)", ", ".join(sns_primary)),
+    ]
+    oif_rows = [
+        (name, EXPECTED_OIF_SETTING_3[name])
+        for name in ("offer1", "offer2", "offer3", "offer4")
+    ]
+    publish(
+        "E04",
+        render_table(
+            ("offer", "OIF (measured = paper)"), oif_rows,
+            title="E4 - Sec 5.2.2 setting 3 (QoS importance 0, cost 4)",
+        )
+        + "\n\n"
+        + render_table(
+            ("policy", "classification order"), rows,
+            title="E4 - order per classification policy "
+                  "(see DESIGN.md: paper example follows pure OIF)",
+        ),
+    )

@@ -1,0 +1,98 @@
+"""E5 — §6 QoS mapping: maxBitRate / avgBitRate tables + presets.
+
+Regenerates the mapping the prototype computes for every stored variant:
+``maxBitRate = (maximum frame length) × (frame rate)`` etc., plus the
+[Ste 90] delay/jitter/loss presets (video: jitter 10 ms, loss 0.003).
+"""
+
+import pytest
+
+from repro.core.mapping import QoSMapper
+from repro.documents.builder import DEFAULT_RATE_MODEL, MonomediaBuilder
+from repro.documents.media import AudioGrade, Codecs, ColorMode, Language
+from repro.documents.quality import AudioQoS, VideoQoS
+from repro.network.qosparams import STEINMETZ_PRESETS
+from repro.util.tables import render_table
+from repro.util.units import format_bitrate
+
+FRAME_RATES = (5, 15, 25, 30, 60)
+GRADES = (AudioGrade.TELEPHONE, AudioGrade.RADIO, AudioGrade.CD)
+
+
+def _video_variant(frame_rate: int):
+    builder = MonomediaBuilder("e5.video", "video", "clip", 60.0)
+    builder.add_variant(
+        Codecs.MPEG1,
+        VideoQoS(color=ColorMode.COLOR, frame_rate=frame_rate, resolution=720),
+        "server-a",
+    )
+    return builder.build().variants[0]
+
+
+def _audio_variant(grade: AudioGrade):
+    builder = MonomediaBuilder("e5.audio", "audio", "track", 60.0)
+    builder.add_variant(
+        Codecs.MPEG_AUDIO,
+        AudioQoS(grade=grade, language=Language.ENGLISH),
+        "server-a",
+    )
+    return builder.build().variants[0]
+
+
+@pytest.fixture(scope="module")
+def mapping_rows():
+    mapper = QoSMapper()
+    video_rows = []
+    for rate in FRAME_RATES:
+        variant = _video_variant(rate)
+        spec = mapper.flow_spec(variant)
+        stats = variant.block_stats
+        # The §6 formulas, verified literally.
+        assert spec.max_bit_rate == pytest.approx(stats.max_block_bits * rate)
+        assert spec.avg_bit_rate == pytest.approx(stats.avg_block_bits * rate)
+        video_rows.append(
+            (f"video color/720px @{rate} f/s",
+             format_bitrate(spec.max_bit_rate),
+             format_bitrate(spec.avg_bit_rate),
+             f"{spec.max_jitter_s * 1e3:.0f} ms",
+             f"{spec.max_loss_rate:g}")
+        )
+    audio_rows = []
+    for grade in GRADES:
+        variant = _audio_variant(grade)
+        spec = mapper.flow_spec(variant)
+        stats = variant.block_stats
+        assert spec.max_bit_rate == pytest.approx(
+            stats.max_block_bits * stats.blocks_per_second
+        )
+        audio_rows.append(
+            (f"audio {grade}",
+             format_bitrate(spec.max_bit_rate),
+             format_bitrate(spec.avg_bit_rate),
+             f"{spec.max_jitter_s * 1e3:.0f} ms",
+             f"{spec.max_loss_rate:g}")
+        )
+    return video_rows + audio_rows
+
+
+def test_e05_mapping_table(benchmark, mapping_rows, publish):
+    mapper = QoSMapper()
+    variants = [_video_variant(r) for r in FRAME_RATES] + [
+        _audio_variant(g) for g in GRADES
+    ]
+    benchmark(lambda: [mapper.flow_spec(v) for v in variants])
+
+    # Paper presets: video jitter 10 ms, loss 0.003.
+    assert STEINMETZ_PRESETS["video"].jitter_s == pytest.approx(0.010)
+    assert STEINMETZ_PRESETS["video"].loss_rate == pytest.approx(0.003)
+
+    publish(
+        "E05",
+        render_table(
+            ("stream", "maxBitRate", "avgBitRate", "jitter bound",
+             "loss bound"),
+            mapping_rows,
+            title="E5 - Sec 6 mapping: user QoS -> system parameters "
+                  "(maxBitRate = max frame length x frame rate)",
+        ),
+    )

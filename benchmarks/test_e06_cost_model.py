@@ -1,0 +1,96 @@
+"""E6 — §7 cost computation (Eq. 1).
+
+Regenerates the per-monomedia cost decomposition for the canonical news
+article: CostDoc = CostCop + Σ (CostNetᵢ + CostSerᵢ) with CostNetᵢ the
+throughput-class tariff × playout duration, for both guarantee types.
+"""
+
+import pytest
+
+from repro.core.cost import default_cost_model
+from repro.core.mapping import QoSMapper
+from repro.documents.builder import make_news_article
+from repro.network.transport import GuaranteeType
+from repro.util.tables import render_table
+from repro.util.units import format_bitrate
+
+
+@pytest.fixture(scope="module")
+def breakdowns():
+    document = make_news_article("doc.e6")
+    mapper = QoSMapper()
+    model = default_cost_model()
+    # The best variant of each monomedia (first in each grid).
+    chosen = [component.variants[0] for component in document.components]
+    items = [(variant, mapper.flow_spec(variant)) for variant in chosen]
+    return document, {
+        guarantee: model.document_cost(
+            items, document.copyright_cost, guarantee
+        )
+        for guarantee in GuaranteeType
+    }
+
+
+def test_e06_equation1_table(benchmark, breakdowns, publish):
+    document, by_guarantee = breakdowns
+    mapper = QoSMapper()
+    model = default_cost_model()
+    chosen = [component.variants[0] for component in document.components]
+    items = [(variant, mapper.flow_spec(variant)) for variant in chosen]
+
+    benchmark(
+        lambda: model.document_cost(items, document.copyright_cost)
+    )
+
+    guaranteed = by_guarantee[GuaranteeType.GUARANTEED]
+    best_effort = by_guarantee[GuaranteeType.BEST_EFFORT]
+
+    # Eq. 1 structural checks.
+    assert guaranteed.total == (
+        guaranteed.copyright_cost
+        + guaranteed.network_total
+        + guaranteed.server_total
+    )
+    assert best_effort.total < guaranteed.total  # §7: guarantee type matters
+    for item in guaranteed.items:
+        # CostNet_i = class tariff x D_i, literally.
+        tariff = model.network.cost_per_second(item.billed_rate_bps)
+        assert item.network_cost.amount == pytest.approx(
+            tariff * item.duration_s, abs=0.01
+        )
+
+    rows = []
+    for item in guaranteed.items:
+        rows.append(
+            (
+                item.monomedia_id.rsplit(".", 1)[-1],
+                item.variant_id,
+                format_bitrate(item.billed_rate_bps),
+                f"{item.duration_s:g} s",
+                str(item.network_cost),
+                str(item.server_cost),
+                str(item.total),
+            )
+        )
+    rows.append(
+        ("copyright", "-", "-", "-", "-", "-", str(guaranteed.copyright_cost))
+    )
+    rows.append(
+        ("CostDoc", "-", "-", "-", str(guaranteed.network_total),
+         str(guaranteed.server_total), str(guaranteed.total))
+    )
+    table = render_table(
+        ("monomedia", "variant", "billed rate", "D_i", "CostNet_i",
+         "CostSer_i", "total"),
+        rows,
+        title="E6 - Sec 7 Eq.1 cost decomposition (guaranteed service)",
+    )
+    table += "\n\n" + render_table(
+        ("guarantee", "CostDoc"),
+        [
+            ("guaranteed (bills peak rate)", str(guaranteed.total)),
+            ("best-effort (bills avg rate, discounted)", str(best_effort.total)),
+        ],
+        title="E6 - guarantee type effect",
+    )
+    publish("E06", table)

@@ -1,0 +1,104 @@
+"""E11 — the cost rationale of §7: "The cost will limit the greediness
+of the users.  Without cost constraints, the users will ask for the best
+QoS available, increasing the blocking probability of the system".
+
+Two user populations under identical load:
+
+* **greedy** — premium profiles only, cost importance 0 (cost is no
+  constraint; the negotiation picks the highest-quality reservable
+  offer);
+* **cost-aware** — the standard mix with real budgets and cost
+  importance.
+
+Reproduction target (shape): the greedy population burns more bandwidth
+per served request and blocks more; the cost-aware population serves
+more requests in total.
+"""
+
+import pytest
+
+from repro.sim.baselines import SmartNegotiator
+from repro.sim.experiment import RunConfig, run_workload
+from repro.sim.scenario import ScenarioSpec, build_scenario
+from repro.sim.workload import WorkloadSpec, generate_requests
+from repro.util.tables import render_table
+
+SEED = 33
+RATE = 0.25
+HORIZON = 900.0
+SPEC = ScenarioSpec(server_count=2, client_count=2, document_count=4)
+
+MIXES = {
+    "greedy (premium only, cost ignored)": (("premium", 1.0),),
+    "cost-aware mix": (
+        ("premium", 0.2), ("balanced", 0.5), ("economy", 0.3),
+    ),
+}
+
+
+def run_mix(mix):
+    scenario = build_scenario(SPEC)
+    requests = generate_requests(
+        WorkloadSpec(
+            arrival_rate_per_s=RATE, horizon_s=HORIZON, profile_mix=mix
+        ),
+        scenario.document_ids(),
+        list(scenario.clients),
+        rng=SEED,
+    )
+    stats = run_workload(
+        scenario,
+        SmartNegotiator(scenario.manager),
+        requests,
+        config=RunConfig(adaptation_enabled=False),
+    )
+    return stats
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return {label: run_mix(mix) for label, mix in MIXES.items()}
+
+
+def test_e11_greediness(benchmark, outcomes, publish):
+    benchmark.pedantic(
+        lambda: run_mix(MIXES["cost-aware mix"]), rounds=3, iterations=1
+    )
+
+    greedy = outcomes["greedy (premium only, cost ignored)"]
+    aware = outcomes["cost-aware mix"]
+
+    # §7's claim, measured: greed blocks more users.
+    assert aware.statuses.served > greedy.statuses.served
+    assert greedy.blocking_probability > aware.blocking_probability
+    # And each greedy service consumes more network per request.
+    greedy_per = greedy.network_utilization.mean(HORIZON) / max(
+        greedy.statuses.served, 1
+    )
+    aware_per = aware.network_utilization.mean(HORIZON) / max(
+        aware.statuses.served, 1
+    )
+    assert greedy_per > aware_per
+
+    rows = []
+    for label, stats in outcomes.items():
+        rows.append(
+            (
+                label,
+                stats.statuses.total,
+                stats.statuses.served,
+                f"{stats.blocking_probability * 100:.1f}%",
+                f"{stats.network_utilization.mean(HORIZON) / 1e6:.1f} Mbps",
+                str(stats.revenue),
+            )
+        )
+    publish(
+        "E11",
+        render_table(
+            ("population", "requests", "served", "blocked",
+             "mean net reserved", "revenue"),
+            rows,
+            title="E11 - Sec 7: cost constraints limit greediness "
+                  f"(identical load {RATE}/s, seed {SEED})",
+        ),
+    )

@@ -1,0 +1,94 @@
+"""F1–F7 — the paper's figures regenerated from live objects.
+
+Figure 1 (document model) and Figure 2 (MM profile) render as structure
+trees; Figures 3–7 (the QoS GUI windows) render as text windows driven
+by the profile manager and a real negotiation outcome.
+"""
+
+import pytest
+
+from repro.client.machine import ClientMachine
+from repro.cmfs import MediaServer
+from repro.core import ProfileManager, QoSManager
+from repro.documents import make_news_article
+from repro.metadata import MetadataDatabase
+from repro.network import Topology, TransportSystem
+from repro.ui import (
+    audio_profile_window,
+    cost_profile_window,
+    document_model_figure,
+    information_window,
+    main_window,
+    mm_profile_figure,
+    profile_component_window,
+    video_profile_window,
+)
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    document = make_news_article("doc.f")
+    database = MetadataDatabase()
+    database.insert_document(document)
+    topology = Topology()
+    topology.connect("client-net", "backbone", 100e6)
+    topology.connect("backbone", "server-a-net", 155e6)
+    topology.connect("backbone", "server-b-net", 155e6)
+    servers = {
+        server.server_id: server
+        for server in (MediaServer("server-a"), MediaServer("server-b"))
+    }
+    manager = QoSManager(
+        database=database,
+        transport=TransportSystem(topology),
+        servers=servers,
+    )
+    return document, manager
+
+
+def test_f1_f2_structure_figures(benchmark, deployment, publish):
+    document, _ = deployment
+    profiles = ProfileManager()
+    profile = profiles.get("balanced")
+
+    benchmark(lambda: document_model_figure(document))
+
+    fig1 = document_model_figure(document)
+    fig2 = mm_profile_figure(profile)
+    assert "multimedia" in fig1 and "Variant" in fig1
+    assert "MM profile (desired)" in fig2 and "importance profile" in fig2
+    publish(
+        "F01-F02",
+        "Figure 1 - document model (instantiated):\n" + fig1
+        + "\n\nFigure 2 - MM profile (instantiated):\n" + fig2,
+    )
+
+
+def test_f3_f7_gui_windows(benchmark, deployment, publish):
+    document, manager = deployment
+    profiles = ProfileManager()
+    profile = profiles.get("balanced")
+    client = ClientMachine("alice", access_point="client-net")
+
+    result = manager.negotiate(document.document_id, profile, client)
+
+    def render_all():
+        return "\n\n".join(
+            (
+                main_window(profiles),
+                profile_component_window(profile),
+                video_profile_window(profile, offer=result.user_offer),
+                audio_profile_window(profile, offer=result.user_offer),
+                cost_profile_window(profile),
+                information_window(result),
+            )
+        )
+
+    text = benchmark(render_all)
+    assert "QoS GUI" in text           # Fig. 3/4 main window
+    assert "Profile components" in text  # Fig. 5
+    assert "Video profile" in text       # Fig. 6
+    assert "Information" in text         # Fig. 7
+    assert "SUCCEEDED" in text
+    publish("F03-F07", "Figures 3-7 - the QoS GUI windows:\n\n" + text)
+    result.commitment.release()

@@ -1,0 +1,111 @@
+"""E15 — ablation: CMFS admission control on vs off.
+
+With admission control, an overloaded deployment *blocks* new requests
+(FAILEDTRYLATER) and every admitted stream keeps its round guarantee.
+Without it, the server accepts everything and the disk round becomes
+infeasible — every stream's deadline is at risk.
+
+Target: no-admission serves more requests but drives peak disk
+utilization beyond 1.0; with admission the utilization stays ≤ 1 and
+blocking absorbs the excess load.
+"""
+
+import pytest
+
+from repro.cmfs.admission import AdmissionController
+from repro.cmfs.disk import DiskModel
+from repro.sim.baselines import SmartNegotiator
+from repro.sim.experiment import RunConfig, run_workload
+from repro.sim.scenario import ScenarioSpec, build_scenario
+from repro.sim.workload import WorkloadSpec, generate_requests
+from repro.util.tables import render_table
+
+SEED = 17
+RATE = 0.3
+HORIZON = 600.0
+SPEC = ScenarioSpec(server_count=2, client_count=2, document_count=3)
+
+
+def run_with_admission(enforce: bool):
+    scenario = build_scenario(SPEC)
+    if not enforce:
+        for server in scenario.servers.values():
+            server.admission = AdmissionController(
+                disk=DiskModel(),
+                enforce_disk=False,
+                enforce_buffer=False,
+                enforce_nic=False,
+                max_streams=100_000,
+            )
+    peak_util = 0.0
+    requests = generate_requests(
+        WorkloadSpec(arrival_rate_per_s=RATE, horizon_s=HORIZON),
+        scenario.document_ids(),
+        list(scenario.clients),
+        rng=SEED,
+    )
+
+    # Observe disk feasibility at every arrival through a wrapper.
+    negotiator = SmartNegotiator(scenario.manager)
+    original = negotiator.negotiate
+
+    def observing(document, profile, client):
+        nonlocal peak_util
+        result = original(document, profile, client)
+        peak_util = max(
+            peak_util,
+            max(s.disk_utilization for s in scenario.servers.values()),
+        )
+        return result
+
+    negotiator.negotiate = observing
+    stats = run_workload(
+        scenario, negotiator, requests,
+        config=RunConfig(adaptation_enabled=False),
+    )
+    return stats, peak_util
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return {
+        "admission enforced": run_with_admission(True),
+        "admission disabled": run_with_admission(False),
+    }
+
+
+def test_e15_admission_ablation(benchmark, outcomes, publish):
+    benchmark.pedantic(
+        lambda: run_with_admission(True), rounds=2, iterations=1
+    )
+
+    enforced_stats, enforced_peak = outcomes["admission enforced"]
+    open_stats, open_peak = outcomes["admission disabled"]
+
+    # The trade: without admission everything network-feasible gets in...
+    assert open_stats.statuses.served >= enforced_stats.statuses.served
+    # ...but the disk round budget is blown; with admission it never is.
+    assert open_peak > 1.0
+    assert enforced_peak <= 1.0 + 1e-9
+
+    rows = [
+        (
+            label,
+            stats.statuses.total,
+            stats.statuses.served,
+            f"{stats.blocking_probability * 100:.1f}%",
+            f"{peak:.2f}",
+            "guaranteed" if peak <= 1.0 else "VIOLATED",
+        )
+        for label, (stats, peak) in outcomes.items()
+    ]
+    publish(
+        "E15",
+        render_table(
+            ("configuration", "requests", "served", "blocked",
+             "peak disk round utilization", "stream deadlines"),
+            rows,
+            title="E15 - ablation: CMFS admission control "
+                  f"(load {RATE}/s, seed {SEED})",
+        ),
+    )

@@ -1,0 +1,101 @@
+"""E16 — ablation: classification policy vs user satisfaction.
+
+§5.1 argues that classifying by cost alone or QoS alone "is neither
+optimal nor suitable".  This ablation runs the identical workload under
+each classification policy (plus the cost-only/qos-only baselines) and
+measures *satisfaction*: the fraction of all requests ending SUCCEEDED —
+served with both the QoS and the cost the user asked for.
+
+Target: the paper's SNS-primary classification achieves the highest
+satisfaction; cost-only serves many requests but satisfies fewer.
+"""
+
+import pytest
+
+from repro.core.classification import ClassificationPolicy
+from repro.sim.baselines import CostOnlyNegotiator, QoSOnlyNegotiator, SmartNegotiator
+from repro.sim.experiment import RunConfig, run_workload
+from repro.sim.scenario import ScenarioSpec, build_scenario
+from repro.sim.workload import WorkloadSpec, generate_requests
+from repro.util.tables import render_table
+
+SEED = 71
+RATE = 0.2
+HORIZON = 900.0
+SPEC = ScenarioSpec(server_count=2, client_count=2, document_count=4)
+
+
+def run_policy(label):
+    scenario = build_scenario(SPEC)
+    if label in ("cost-only", "qos-only"):
+        negotiator = (
+            CostOnlyNegotiator(scenario.manager)
+            if label == "cost-only"
+            else QoSOnlyNegotiator(scenario.manager)
+        )
+    else:
+        scenario.manager.policy = ClassificationPolicy(label)
+        negotiator = SmartNegotiator(scenario.manager)
+    requests = generate_requests(
+        WorkloadSpec(arrival_rate_per_s=RATE, horizon_s=HORIZON),
+        scenario.document_ids(),
+        list(scenario.clients),
+        rng=SEED,
+    )
+    return run_workload(
+        scenario, negotiator, requests,
+        config=RunConfig(adaptation_enabled=False),
+    )
+
+
+LABELS = ("sns-primary", "pure-oif", "cost-gated", "cost-only", "qos-only")
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {label: run_policy(label) for label in LABELS}
+
+
+def test_e16_policy_satisfaction(benchmark, sweep, publish):
+    benchmark.pedantic(
+        lambda: run_policy("sns-primary"), rounds=2, iterations=1
+    )
+
+    rows = []
+    for label in LABELS:
+        stats = sweep[label]
+        counts = stats.statuses
+        satisfaction = counts.success_rate
+        rows.append(
+            (
+                label,
+                counts.total,
+                counts.served,
+                counts.succeeded,
+                f"{satisfaction * 100:.1f}%",
+                str(stats.revenue),
+            )
+        )
+
+    best = max(LABELS, key=lambda l: sweep[l].statuses.success_rate)
+    # The paper's policy satisfies at least as many users as any
+    # single-criterion alternative.
+    assert (
+        sweep["sns-primary"].statuses.success_rate
+        >= sweep["cost-only"].statuses.success_rate
+    )
+    assert (
+        sweep["sns-primary"].statuses.success_rate
+        >= sweep["qos-only"].statuses.success_rate
+    )
+
+    publish(
+        "E16",
+        render_table(
+            ("policy", "requests", "served", "SUCCEEDED", "satisfaction",
+             "revenue"),
+            rows,
+            title=f"E16 - ablation: classification policy vs user "
+                  f"satisfaction (best: {best}; load {RATE}/s, seed {SEED})",
+        ),
+    )

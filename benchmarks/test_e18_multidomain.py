@@ -1,0 +1,127 @@
+"""E18 — extension ([Haf 95b]): hierarchical multi-domain negotiation.
+
+The end-to-end path crosses three administrative domains (campus,
+metro, provider); each domain's agent reserves its own segment and may
+refuse on policy grounds (a transit quota) independently of raw link
+capacity.  Compared against the flat single-authority transport on the
+identical topology and demand:
+
+* admission decisions coincide while no quota binds;
+* once the metro quota binds, the hierarchical system blocks flows the
+  flat system would admit — policy-driven blocking, the phenomenon the
+  hierarchical negotiation exists to express;
+* the price is signalling: 2 messages per domain segment per set-up.
+"""
+
+import pytest
+
+from repro.network.domains import Domain, DomainMap, HierarchicalTransport
+from repro.network.qosparams import FlowSpec
+from repro.network.topology import Topology
+from repro.network.transport import TransportSystem
+from repro.util.errors import CapacityError
+from repro.util.tables import render_table
+
+SPEC = FlowSpec(
+    max_bit_rate=8e6, avg_bit_rate=3e6,
+    max_delay_s=0.25, max_jitter_s=0.05, max_loss_rate=0.05,
+)
+QUOTA = 40e6  # metro transit quota: 5 flows of 8 Mbps
+
+
+def build_topology():
+    topo = Topology()
+    topo.connect("srv", "metro-a", 622e6, link_id="L1")
+    topo.connect("metro-a", "metro-b", 622e6, link_id="L2")
+    topo.connect("metro-b", "campus-gw", 622e6, link_id="L3")
+    topo.connect("campus-gw", "cli", 622e6, link_id="L4")
+    return topo
+
+
+def build_hierarchical(quota=QUOTA):
+    topo = build_topology()
+    dmap = DomainMap(
+        [Domain("provider"), Domain("metro", transit_quota_bps=quota),
+         Domain("campus")]
+    )
+    dmap.assign("srv", "provider")
+    dmap.assign("metro-a", "metro")
+    dmap.assign("metro-b", "metro")
+    dmap.assign("campus-gw", "campus")
+    dmap.assign("cli", "campus")
+    return HierarchicalTransport(topo, dmap)
+
+
+def admit_until_blocked(transport):
+    admitted = 0
+    while True:
+        try:
+            transport.reserve("srv", "cli", SPEC)
+        except CapacityError:
+            return admitted
+        admitted += 1
+        if admitted > 1000:
+            raise AssertionError("never blocked")
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    flat = TransportSystem(build_topology())
+    flat_admitted = admit_until_blocked(flat)
+
+    hierarchical = build_hierarchical()
+    hier_admitted = admit_until_blocked(hierarchical)
+
+    unlimited = build_hierarchical(quota=1e12)
+    unlimited_admitted = admit_until_blocked(unlimited)
+
+    return {
+        "flat (single authority)": (flat_admitted, None, None),
+        "hierarchical, metro quota 40 Mbps": (
+            hier_admitted,
+            hierarchical.total_messages,
+            hierarchical.agents["metro"].refusals,
+        ),
+        "hierarchical, unlimited quotas": (
+            unlimited_admitted,
+            unlimited.total_messages,
+            unlimited.agents["metro"].refusals,
+        ),
+    }
+
+
+def test_e18_multidomain(benchmark, outcomes, publish):
+    benchmark.pedantic(
+        lambda: admit_until_blocked(build_hierarchical()),
+        rounds=3, iterations=1,
+    )
+
+    flat_admitted = outcomes["flat (single authority)"][0]
+    quota_admitted = outcomes["hierarchical, metro quota 40 Mbps"][0]
+    open_admitted = outcomes["hierarchical, unlimited quotas"][0]
+
+    # Without a binding quota the hierarchy changes nothing.
+    assert open_admitted == flat_admitted
+    # With the quota, policy blocks flows capacity would admit.
+    assert quota_admitted == int(QUOTA // SPEC.max_bit_rate)
+    assert quota_admitted < flat_admitted
+
+    rows = [
+        (
+            label,
+            admitted,
+            "-" if messages is None else messages,
+            "-" if refusals is None else refusals,
+        )
+        for label, (admitted, messages, refusals) in outcomes.items()
+    ]
+    publish(
+        "E18",
+        render_table(
+            ("transport", "flows admitted", "signalling messages",
+             "policy refusals"),
+            rows,
+            title="E18 - hierarchical multi-domain negotiation "
+                  "(8 Mbps flows until blocked; 622 Mbps links)",
+        ),
+    )

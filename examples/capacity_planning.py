@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Capacity planning with the substrate models.
+
+Uses the CMFS disk/admission model and the cost tables directly —
+the questions an operator of the news-on-demand service would ask:
+
+* how many concurrent streams does one server sustain per quality level?
+* what does each quality level cost the user per minute (Eq. 1)?
+* where does the bottleneck move as servers are added?
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.cmfs import AdmissionController, DiskModel, MediaServer
+from repro.core import QoSMapper, default_cost_model
+from repro.documents import (
+    ColorMode,
+    Codecs,
+    MonomediaBuilder,
+    VideoQoS,
+)
+from repro.network import GuaranteeType
+from repro.util.tables import render_table
+from repro.util.units import format_bitrate
+
+QUALITY_LEVELS = [
+    ("super-color 25f/s 1080px", ColorMode.SUPER_COLOR, 25, 1080),
+    ("color 25f/s 720px (TV)", ColorMode.COLOR, 25, 720),
+    ("color 15f/s 720px", ColorMode.COLOR, 15, 720),
+    ("grey 25f/s 720px", ColorMode.GREY, 25, 720),
+    ("grey 15f/s 360px", ColorMode.GREY, 15, 360),
+    ("b&w 5f/s 180px", ColorMode.BLACK_AND_WHITE, 5, 180),
+]
+
+
+def variant_for(label, color, rate, resolution):
+    builder = MonomediaBuilder("m.plan", "video", label, 60.0)
+    builder.add_variant(
+        Codecs.MPEG1,
+        VideoQoS(color=color, frame_rate=rate, resolution=resolution),
+        "server-x",
+    )
+    return builder.build().variants[0]
+
+
+def main() -> None:
+    disk = DiskModel()
+    admission = AdmissionController(disk=disk)
+    mapper = QoSMapper()
+    cost_model = default_cost_model()
+
+    rows = []
+    for label, color, rate, resolution in QUALITY_LEVELS:
+        variant = variant_for(label, color, rate, resolution)
+        spec = mapper.flow_spec(variant)
+        streams_disk = disk.max_streams_at_rate(spec.max_bit_rate)
+        item = cost_model.monomedia_cost(
+            variant, spec, GuaranteeType.GUARANTEED
+        )
+        per_minute = (item.network_cost + item.server_cost) * (60.0 / 60.0)
+        rows.append(
+            (
+                label,
+                format_bitrate(spec.avg_bit_rate),
+                format_bitrate(spec.max_bit_rate),
+                streams_disk,
+                str(per_minute) + "/min",
+            )
+        )
+
+    print(
+        render_table(
+            ("quality level", "avg rate", "peak rate",
+             "streams/disk", "user cost"),
+            rows,
+            title="Single-disk CMFS capacity and Eq.1 tariffs per quality level",
+        )
+    )
+    print()
+
+    # Bottleneck migration: admit TV-quality streams until refusal, for
+    # growing fleet sizes, and report the first limiting resource.
+    variant = variant_for(*QUALITY_LEVELS[1])
+    spec = QoSMapper().flow_spec(variant)
+    rows = []
+    for fleet in (1, 2, 4):
+        servers = [MediaServer(f"s{i}") for i in range(fleet)]
+        admitted = 0
+        limit = ""
+        while True:
+            server = servers[admitted % fleet]
+            decision = server.can_admit(spec.max_bit_rate)
+            if not decision:
+                limit = decision.limiting_resource
+                break
+            server.admit(f"v{admitted}", spec.max_bit_rate)
+            admitted += 1
+            if admitted > 10_000:  # safety
+                break
+        rows.append((fleet, admitted, limit))
+    print(
+        render_table(
+            ("servers", "TV-quality streams admitted", "limiting resource"),
+            rows,
+            title="Fleet scaling at TV quality",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Walk through every QoS GUI window of paper §8 (Figures 3-7).
+
+Renders each window in sequence exactly as a user session would see
+them: main window → profile component window → per-medium editors →
+negotiation → information window; then a failed negotiation showing the
+red (!) constraint buttons and the offer bars.
+
+Run:  python examples/gui_walkthrough.py
+"""
+
+from repro import ProfileManager, QoSManager, make_profile, make_news_article
+from repro.client import ClientMachine
+from repro.cmfs import MediaServer
+from repro.documents import ColorMode, VideoQoS
+from repro.metadata import MetadataDatabase
+from repro.network import Topology, TransportSystem
+from repro.ui import (
+    audio_profile_window,
+    cost_profile_window,
+    information_window,
+    main_window,
+    profile_component_window,
+    video_profile_window,
+)
+
+
+def build_manager():
+    document = make_news_article("doc.gui")
+    database = MetadataDatabase()
+    database.insert_document(document)
+    topology = Topology()
+    topology.connect("client-net", "backbone", 100e6)
+    topology.connect("backbone", "server-a-net", 155e6)
+    topology.connect("backbone", "server-b-net", 155e6)
+    servers = {
+        server.server_id: server
+        for server in (MediaServer("server-a"), MediaServer("server-b"))
+    }
+    manager = QoSManager(
+        database=database,
+        transport=TransportSystem(topology),
+        servers=servers,
+    )
+    return document, manager
+
+
+def main() -> None:
+    document, manager = build_manager()
+    profiles = ProfileManager()
+    client = ClientMachine("alice", access_point="client-net")
+
+    print("1. The main window (Play with QoS pressed):\n")
+    print(main_window(profiles))
+
+    profile = profiles.get("balanced")
+    print("\n2. Double-click 'balanced' -> profile component window:\n")
+    print(profile_component_window(profile))
+
+    print("\n3. Double-click the video profile -> editor window:\n")
+    print(video_profile_window(profile))
+    print()
+    print(audio_profile_window(profile))
+    print()
+    print(cost_profile_window(profile))
+
+    print("\n4. OK pressed -> negotiation runs -> information window:\n")
+    result = manager.negotiate(document.document_id, profile, client)
+    print(information_window(result))
+
+    print("\n5. A profile the deployment cannot satisfy (super-color")
+    print("   HDTV video): the component window activates the violated")
+    print("   constraint buttons and the editor shows the offer bars:\n")
+    greedy = make_profile(
+        "greedy",
+        desired_video=VideoQoS(
+            color=ColorMode.SUPER_COLOR, frame_rate=60, resolution=1080
+        ),
+        worst_video=VideoQoS(
+            color=ColorMode.SUPER_COLOR, frame_rate=50, resolution=1080
+        ),
+        max_cost=50.0,
+    )
+    result2 = manager.negotiate(document.document_id, greedy, client)
+    violated = set()
+    if result2.user_offer is not None:
+        violated = set(greedy.worst.qos_violations(result2.user_offer))
+    print(profile_component_window(greedy, violated_media=violated))
+    print()
+    print(video_profile_window(greedy, offer=result2.user_offer))
+    print()
+    print(information_window(result2))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""A busy hour of the news-on-demand service, smart vs static negotiation.
+
+Reproduces the paper's availability argument (§1, §8: smart negotiation
+"increases the availability of the system and the user satisfaction") at
+example scale: one hour of Poisson arrivals against a three-server
+deployment, served once by the paper's negotiator and once by each
+baseline.  Prints the comparison table of success / blocking / revenue.
+
+Run:  python examples/news_on_demand_day.py
+"""
+
+from repro.sim import (
+    ALL_BASELINES,
+    RunConfig,
+    WorkloadSpec,
+    build_scenario,
+    generate_requests,
+    run_workload,
+    ScenarioSpec,
+)
+from repro.sim.metrics import RunStats
+from repro.util.tables import render_table
+
+SEED = 2026
+
+
+def main() -> None:
+    spec = ScenarioSpec(server_count=3, client_count=4, document_count=8)
+    workload = WorkloadSpec(arrival_rate_per_s=0.25, horizon_s=3600.0)
+
+    rows = []
+    for build_negotiator in ALL_BASELINES(build_scenario(spec).manager):
+        # A fresh scenario per negotiator: identical deployment and
+        # workload, independent resource state.
+        scenario = build_scenario(spec)
+        negotiator = type(build_negotiator)(scenario.manager)
+        requests = generate_requests(
+            workload, scenario.document_ids(), list(scenario.clients),
+            rng=SEED,
+        )
+        stats = run_workload(
+            scenario, negotiator, requests,
+            config=RunConfig(adaptation_enabled=False),
+        )
+        rows.append(stats.summary_row(negotiator.name))
+
+    print(
+        render_table(
+            RunStats.summary_headers(), rows,
+            title="One busy hour, identical workload (seed %d)" % SEED,
+        )
+    )
+    print()
+    print("The smart negotiator serves the most requests: when the best")
+    print("configuration is saturated it degrades to the next classified")
+    print("offer instead of blocking (FAILEDWITHOFFER instead of")
+    print("FAILEDTRYLATER), exactly the §4 step-5 behaviour.")
+
+
+if __name__ == "__main__":
+    main()

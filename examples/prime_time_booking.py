@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Future reservations: booking the evening news ahead of time.
+
+Extension after the authors' companion work [Haf 96] ("QoS Negotiation
+with Future Reservations"): instead of negotiating live resources at
+playout time, users *book* capacity windows on interval ledgers that
+mirror the deployment, and claim the booking when their slot starts.
+
+The scene: 18 households want the 19:00 news.  Walk-ins all collide on
+the same window; advance bookers are shifted to the nearest free slot.
+
+Run:  python examples/prime_time_booking.py
+"""
+
+from repro.core import ProfileManager, QoSManager
+from repro.client import ClientMachine
+from repro.cmfs import MediaServer
+from repro.documents import make_news_article
+from repro.metadata import MetadataDatabase
+from repro.network import Topology, TransportSystem
+from repro.reservations import AdvanceBookingPlan, AdvanceNegotiator
+
+PRIME_TIME = 19 * 3600.0
+SLOT = 150.0
+HOUSEHOLDS = 18
+
+
+def build():
+    document = make_news_article("doc.evening-news", duration_s=120.0)
+    database = MetadataDatabase()
+    database.insert_document(document)
+    topology = Topology()
+    topology.connect("client-net", "backbone", 100e6, link_id="L-client")
+    topology.connect("backbone", "server-a-net", 155e6, link_id="L-a")
+    topology.connect("backbone", "server-b-net", 155e6, link_id="L-b")
+    servers = {
+        server.server_id: server
+        for server in (MediaServer("server-a"), MediaServer("server-b"))
+    }
+    manager = QoSManager(
+        database=database,
+        transport=TransportSystem(topology),
+        servers=servers,
+    )
+    return document, manager
+
+
+def main() -> None:
+    document, manager = build()
+    advance = AdvanceNegotiator(manager)
+    profile = ProfileManager().get("balanced")
+    client = ClientMachine("household", access_point="client-net")
+
+    print(f"{HOUSEHOLDS} households book the {document.title!r} slot at "
+          f"t={PRIME_TIME:.0f}s\n")
+
+    plans = []
+    for household in range(1, HOUSEHOLDS + 1):
+        for shift in range(0, 13):
+            start = PRIME_TIME + shift * SLOT
+            plan = advance.negotiate_advance(
+                document.document_id, profile, client, start_s=start
+            )
+            if isinstance(plan, AdvanceBookingPlan):
+                delay = shift * SLOT
+                note = "prime time" if shift == 0 else f"shifted +{delay:.0f}s"
+                print(f"  household {household:2d}: {plan.status} "
+                      f"[{plan.start_s:.0f}s, {plan.end_s:.0f}s) ({note})")
+                plans.append(plan)
+                break
+        else:
+            print(f"  household {household:2d}: no slot within the evening")
+
+    print(f"\nbooked {len(plans)}/{HOUSEHOLDS}; ledger state:")
+    for ledger in advance.planner.ledgers():
+        if len(ledger):
+            peak = ledger.peak_usage(PRIME_TIME, PRIME_TIME + 14 * SLOT)
+            print(f"  {ledger.resource_id:<12} {len(ledger):3d} bookings, "
+                  f"peak {peak / 1e6:6.1f} / {ledger.capacity / 1e6:6.1f} Mbps")
+
+    # The first slot arrives: claim the earliest booking.
+    first = plans[0]
+    result = advance.claim(first, profile, client)
+    print(f"\nclaiming {first.plan_id} at slot start: {result.status} "
+          f"({manager.committer.transport.flow_count} live flows)")
+    result.commitment.confirm(manager.clock.now())
+    result.commitment.release()
+    for plan in plans[1:]:
+        advance.cancel(plan)
+    print("remaining bookings cancelled; "
+          f"live flows: {manager.committer.transport.flow_count}")
+
+
+if __name__ == "__main__":
+    main()

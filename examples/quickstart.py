@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Quickstart: negotiate one news article end to end.
+
+Builds the smallest complete deployment (one metadata database, two
+media servers, a three-link network, one client workstation), selects a
+user profile, runs the six-step negotiation procedure of the paper, and
+walks through user confirmation and playout start.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    NegotiationStatus,
+    ProfileManager,
+    QoSManager,
+    make_news_article,
+)
+from repro.client import ClientMachine
+from repro.cmfs import MediaServer
+from repro.metadata import MetadataDatabase
+from repro.network import Topology, TransportSystem
+from repro.session import EventLoop, SessionRuntime
+from repro.ui import information_window, main_window
+from repro.util.clock import ManualClock
+
+
+def main() -> None:
+    # 1. Content: a news article with a grid of variants (two codecs x
+    #    two colours x two frame rates for the video, CD/telephone audio
+    #    in English and French, a photo and the article text).
+    document = make_news_article("doc.quickstart")
+    database = MetadataDatabase()
+    database.insert_document(document)
+
+    # 2. Infrastructure: two CMFS machines behind a backbone, one client
+    #    access network.
+    topology = Topology()
+    topology.connect("client-net", "backbone", 100e6, link_id="L-client")
+    topology.connect("backbone", "server-a-net", 155e6, link_id="L-a")
+    topology.connect("backbone", "server-b-net", 155e6, link_id="L-b")
+    servers = {
+        server.server_id: server
+        for server in (MediaServer("server-a"), MediaServer("server-b"))
+    }
+    transport = TransportSystem(topology)
+
+    # 3. The QoS manager — the paper's component under study.
+    clock = ManualClock()
+    manager = QoSManager(
+        database=database, transport=transport, servers=servers, clock=clock
+    )
+
+    # 4. The user: a profile from the profile manager, a client machine.
+    profiles = ProfileManager()
+    print(main_window(profiles))
+    profile = profiles.get("balanced")
+    client = ClientMachine("alice", access_point="client-net")
+
+    # 5. Steps 1-5: negotiate.
+    result = manager.negotiate(document.document_id, profile, client)
+    print()
+    print(information_window(result))
+    assert result.status is NegotiationStatus.SUCCEEDED, result.status
+
+    # 6. Step 6: the user confirms within choicePeriod; playout starts.
+    loop = EventLoop(clock)
+    runtime = SessionRuntime(manager, loop)
+    session = runtime.start_session(result, profile, client)
+    print()
+    print(f"session {session.session_id} playing offer "
+          f"{result.chosen.offer.offer_id} "
+          f"(servers {sorted(result.chosen.offer.servers_used())}, "
+          f"cost {result.chosen.offer.cost})")
+
+    # 7. Play the document to the end.
+    loop.run()
+    print(f"session finished: {session.state.value}, "
+          f"interruptions={session.record.interruptions}")
+    assert transport.flow_count == 0, "all flows must be released"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Server preferences and security floors (paper §8 conclusion).
+
+"The user profiles may include ... e.g. the user prefers certain servers
+over others, security, etc."  A newsroom has three servers: the hardened
+in-house archive (CONFIDENTIAL), a regional mirror (PROTECTED) and a
+cheap public CDN node (PUBLIC).  Three users request the same article:
+
+* an **editor** who must stay on CONFIDENTIAL infrastructure;
+* a **correspondent** who merely prefers the regional mirror;
+* a **subscriber** with no preferences at all.
+
+Run:  python examples/secure_newsroom.py
+"""
+
+from dataclasses import replace
+
+from repro.client import ClientMachine
+from repro.cmfs import MediaServer
+from repro.core import (
+    ProfileManager,
+    QoSManager,
+    SecurityLevel,
+    ServerAttributes,
+    ServerDirectory,
+    UserPreferences,
+)
+from repro.metadata import MetadataDatabase
+from repro.network import Topology, TransportSystem
+
+
+def build():
+    # §2: "Copies of the same file are considered also as variants" —
+    # the anchor video is replicated on all three servers, so the
+    # negotiation has genuinely interchangeable configurations and the
+    # server preference alone decides between them.
+    from repro.documents import (
+        AudioGrade,
+        AudioQoS,
+        Codecs,
+        ColorMode,
+        DocumentBuilder,
+        Language,
+        MonomediaBuilder,
+        VideoQoS,
+    )
+
+    tv = VideoQoS(color=ColorMode.COLOR, frame_rate=25, resolution=720)
+    video = MonomediaBuilder("doc.exclusive.video", "video", "anchor", 120.0)
+    for server_id in ("archive", "mirror", "cdn"):
+        video.add_variant(Codecs.MPEG1, tv, server_id)
+    video.add_variant(
+        Codecs.MPEG1,
+        VideoQoS(color=ColorMode.GREY, frame_rate=15, resolution=360),
+        "cdn",
+    )
+    audio = MonomediaBuilder("doc.exclusive.audio", "audio", "track", 120.0)
+    for server_id in ("archive", "mirror"):
+        audio.add_variant(
+            Codecs.MPEG_AUDIO,
+            AudioQoS(grade=AudioGrade.CD, language=Language.ENGLISH),
+            server_id,
+        )
+    document = (
+        DocumentBuilder("doc.exclusive", "the exclusive")
+        .add(video)
+        .add(audio)
+        .parallel("doc.exclusive.video", "doc.exclusive.audio")
+        .copyright(0.5)
+        .build()
+    )
+    database = MetadataDatabase()
+    database.insert_document(document)
+    topology = Topology()
+    topology.connect("client-net", "backbone", 100e6, link_id="L-client")
+    for server_id in ("archive", "mirror", "cdn"):
+        topology.connect(
+            f"{server_id}-net", "backbone", 155e6, link_id=f"L-{server_id}"
+        )
+    servers = {
+        server_id: MediaServer(server_id)
+        for server_id in ("archive", "mirror", "cdn")
+    }
+    directory = ServerDirectory(
+        {
+            "archive": ServerAttributes(security=SecurityLevel.CONFIDENTIAL),
+            "mirror": ServerAttributes(security=SecurityLevel.PROTECTED),
+            "cdn": ServerAttributes(security=SecurityLevel.PUBLIC),
+        }
+    )
+    manager = QoSManager(
+        database=database,
+        transport=TransportSystem(topology),
+        servers=servers,
+        directory=directory,
+    )
+    return document, manager
+
+
+def main() -> None:
+    document, manager = build()
+    base = ProfileManager().get("balanced")
+    client = ClientMachine("desk-7", access_point="client-net")
+
+    users = {
+        "editor (security >= confidential)": replace(
+            base, preferences=UserPreferences(
+                min_security=SecurityLevel.CONFIDENTIAL
+            )
+        ),
+        "correspondent (prefers the mirror)": replace(
+            base, preferences=UserPreferences(
+                server_preference={"mirror": 25.0}
+            )
+        ),
+        "subscriber (no preferences)": base,
+    }
+
+    for label, profile in users.items():
+        result = manager.negotiate(document.document_id, profile, client)
+        servers_used = (
+            sorted(result.chosen.offer.servers_used())
+            if result.chosen
+            else []
+        )
+        print(f"{label}:")
+        print(f"  status  : {result.status}")
+        print(f"  servers : {', '.join(servers_used) or '-'}")
+        if result.user_offer is not None:
+            print(f"  offer   : {result.user_offer.describe()}")
+        if result.commitment is not None:
+            result.commitment.reject(manager.clock.now())
+        print()
+
+    print("Security floors filter variants in step 2 (like an unsupported")
+    print("codec); preference weights refine the step-4 ordering inside")
+    print("each static-negotiation-status class without overriding it.")
+
+
+if __name__ == "__main__":
+    main()

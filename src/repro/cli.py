@@ -1,0 +1,247 @@
+"""Command-line interface.
+
+Four subcommands exercise the library from a shell:
+
+* ``demo`` — negotiate one article end to end on a built-in deployment,
+  printing the GUI windows along the way;
+* ``windows`` — render the §8 GUI windows for a stock profile;
+* ``sweep`` — run a seeded workload through a chosen negotiator and
+  print the outcome statistics;
+* ``experiments`` — list the E-series experiment index.
+
+Invoke as ``python -m repro <subcommand>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+EXPERIMENT_INDEX = [
+    ("E1", "Sec 5.2.1 static negotiation status", "benchmarks/test_e01_sns_example.py"),
+    ("E2", "Sec 5.2.2 setting 1: OIF + order", "benchmarks/test_e02_oif_setting1.py"),
+    ("E3", "Sec 5.2.2 setting 2: cost importance 0", "benchmarks/test_e03_oif_setting2.py"),
+    ("E4", "Sec 5.2.2 setting 3: QoS importance 0", "benchmarks/test_e04_oif_setting3.py"),
+    ("E5", "Sec 6 QoS mapping formulas", "benchmarks/test_e05_qos_mapping.py"),
+    ("E6", "Sec 7 Eq.1 cost decomposition", "benchmarks/test_e06_cost_model.py"),
+    ("E7", "blocking vs load, smart vs baselines", "benchmarks/test_e07_blocking_vs_load.py"),
+    ("E8", "status mix vs variant richness", "benchmarks/test_e08_status_distribution.py"),
+    ("E9", "adaptation vs none under congestion", "benchmarks/test_e09_adaptation.py"),
+    ("E10", "classification scalability", "benchmarks/test_e10_scalability.py"),
+    ("E11", "cost limits greediness", "benchmarks/test_e11_cost_greediness.py"),
+    ("E12", "choicePeriod timer + renegotiation", "benchmarks/test_e12_confirmation_renegotiation.py"),
+    ("E13", "Figures 1-7 regenerated", "benchmarks/test_e13_figures.py"),
+    ("E14", "ablation: SCAN vs FCFS", "benchmarks/test_e14_scan_vs_fcfs.py"),
+    ("E15", "ablation: admission control", "benchmarks/test_e15_admission_ablation.py"),
+    ("E16", "ablation: policy vs satisfaction", "benchmarks/test_e16_policy_satisfaction.py"),
+    ("E17", "extension: future reservations", "benchmarks/test_e17_future_reservations.py"),
+    ("E18", "extension: multi-domain hierarchy", "benchmarks/test_e18_multidomain.py"),
+    ("E19", "data-path stalls vs admission", "benchmarks/test_e19_datapath_stalls.py"),
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HPDC-5 '96 QoS negotiation procedure, reproduced.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="negotiate one article end to end")
+    demo.add_argument("--profile", default="balanced",
+                      help="stock profile name (default: balanced)")
+    demo.add_argument("--documents", type=int, default=3,
+                      help="catalogue size of the built-in deployment")
+
+    windows = sub.add_parser("windows", help="render the Sec 8 GUI windows")
+    windows.add_argument("--profile", default="balanced")
+
+    sweep = sub.add_parser("sweep", help="run a seeded workload")
+    sweep.add_argument("--negotiator", default="smart",
+                       choices=["smart", "static", "first-fit", "cost-only",
+                                "qos-only"])
+    sweep.add_argument("--rate", type=float, default=0.1,
+                       help="arrival rate, requests/s")
+    sweep.add_argument("--horizon", type=float, default=900.0,
+                       help="workload horizon, seconds")
+    sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument("--servers", type=int, default=2)
+    sweep.add_argument("--no-adaptation", action="store_true")
+
+    sub.add_parser("experiments", help="list the experiment index")
+
+    report = sub.add_parser(
+        "report", help="concatenate the regenerated experiment tables"
+    )
+    report.add_argument(
+        "--out-dir", default="benchmarks/out",
+        help="directory the benchmark suite wrote its tables to",
+    )
+    return parser
+
+
+def _cmd_demo(args) -> int:
+    from .client import ClientMachine
+    from .core import ProfileManager
+    from .sim import ScenarioSpec, build_scenario
+    from .ui import information_window, main_window
+
+    scenario = build_scenario(ScenarioSpec(document_count=args.documents))
+    profiles = ProfileManager()
+    if args.profile not in profiles:
+        print(f"unknown profile {args.profile!r}; have {profiles.names()}",
+              file=sys.stderr)
+        return 2
+    profile = profiles.get(args.profile)
+    client = scenario.any_client()
+    print(main_window(profiles))
+    result = scenario.manager.negotiate(
+        scenario.document_ids()[0], profile, client
+    )
+    print()
+    print(information_window(result))
+    if result.commitment is not None:
+        result.commitment.confirm(scenario.clock.now())
+        runtime = scenario.runtime()
+        session = runtime.start_session(
+            result, profile, client, confirm=False
+        )
+        scenario.loop.run()
+        print(f"\nsession {session.session_id}: {session.state.value} "
+              f"(offer {result.chosen.offer.offer_id}, "
+              f"cost {result.chosen.offer.cost})")
+    return 0
+
+
+def _cmd_windows(args) -> int:
+    from .core import ProfileManager
+    from .ui import (
+        audio_profile_window,
+        cost_profile_window,
+        main_window,
+        profile_component_window,
+        video_profile_window,
+    )
+
+    profiles = ProfileManager()
+    if args.profile not in profiles:
+        print(f"unknown profile {args.profile!r}; have {profiles.names()}",
+              file=sys.stderr)
+        return 2
+    profile = profiles.get(args.profile)
+    for window in (
+        main_window(profiles),
+        profile_component_window(profile),
+        video_profile_window(profile),
+        audio_profile_window(profile),
+        cost_profile_window(profile),
+    ):
+        print(window)
+        print()
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .sim import (
+        CostOnlyNegotiator,
+        FirstFitNegotiator,
+        QoSOnlyNegotiator,
+        RunConfig,
+        ScenarioSpec,
+        SmartNegotiator,
+        StaticNegotiator,
+        WorkloadSpec,
+        build_scenario,
+        generate_requests,
+        run_workload,
+    )
+    from .sim.metrics import RunStats
+    from .util.tables import render_table
+
+    by_name = {
+        "smart": SmartNegotiator,
+        "static": StaticNegotiator,
+        "first-fit": FirstFitNegotiator,
+        "cost-only": CostOnlyNegotiator,
+        "qos-only": QoSOnlyNegotiator,
+    }
+    scenario = build_scenario(ScenarioSpec(server_count=args.servers))
+    requests = generate_requests(
+        WorkloadSpec(arrival_rate_per_s=args.rate, horizon_s=args.horizon),
+        scenario.document_ids(),
+        list(scenario.clients),
+        rng=args.seed,
+    )
+    stats = run_workload(
+        scenario,
+        by_name[args.negotiator](scenario.manager),
+        requests,
+        config=RunConfig(adaptation_enabled=not args.no_adaptation),
+    )
+    print(
+        render_table(
+            RunStats.summary_headers(),
+            [stats.summary_row(args.negotiator)],
+            title=f"{len(requests)} requests, seed {args.seed}",
+        )
+    )
+    print()
+    for status, count in sorted(
+        stats.statuses.as_dict().items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {status:<22} {count}")
+    return 0
+
+
+def _cmd_experiments(_args) -> int:
+    from .util.tables import render_table
+
+    print(
+        render_table(
+            ("id", "experiment", "bench target"),
+            EXPERIMENT_INDEX,
+            title="Experiment index (see EXPERIMENTS.md)",
+        )
+    )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    import pathlib
+
+    out_dir = pathlib.Path(args.out_dir)
+    if not out_dir.is_dir():
+        print(
+            f"no results at {out_dir}; run "
+            "`pytest benchmarks/ --benchmark-only` first",
+            file=sys.stderr,
+        )
+        return 2
+    tables = sorted(out_dir.glob("*.txt"))
+    if not tables:
+        print(f"no tables in {out_dir}", file=sys.stderr)
+        return 2
+    for path in tables:
+        print(path.read_text(encoding="utf-8").rstrip())
+        print()
+    print(f"[{len(tables)} experiment tables from {out_dir}]")
+    return 0
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "demo": _cmd_demo,
+        "windows": _cmd_windows,
+        "sweep": _cmd_sweep,
+        "experiments": _cmd_experiments,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

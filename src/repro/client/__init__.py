@@ -1,0 +1,13 @@
+"""Client machine substrate: display/audio capabilities and decoders."""
+
+from .decoder import Decoder, DecoderBank, ScalableDecoder, standard_decoders
+from .machine import ClientMachine, LocalCheckResult
+
+__all__ = [
+    "Decoder",
+    "DecoderBank",
+    "ScalableDecoder",
+    "standard_decoders",
+    "ClientMachine",
+    "LocalCheckResult",
+]

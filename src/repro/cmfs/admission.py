@@ -1,0 +1,122 @@
+"""Admission control for the continuous-media file server.
+
+A new stream is admitted only if, with it added:
+
+1. the disk round inequality still holds (:class:`DiskModel`);
+2. the per-stream double buffer fits the buffer pool
+   (two rounds of peak-rate data per stream);
+3. the server NIC can carry the aggregate peak rate;
+4. the configured hard stream limit is respected.
+
+Each rule can be relaxed to build the "no admission control" baseline
+used by experiment E7 (the blocking-vs-load comparison needs a server
+that accepts everything and then degrades everyone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..util.validation import check_positive
+from .disk import DiskModel
+
+__all__ = ["AdmissionDecision", "AdmissionController"]
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionDecision:
+    """Outcome plus the first limiting resource (for diagnostics and
+    the E7/E8 status breakdowns)."""
+
+    admitted: bool
+    limiting_resource: str = ""
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionController:
+    """Evaluates the four admission rules against server state."""
+
+    disk: DiskModel
+    buffer_bits: float = 512_000_000.0   # 64 MB buffer pool
+    nic_bps: float = 155_000_000.0       # OC-3 ATM interface
+    max_streams: int = 64
+    enforce_disk: bool = True
+    enforce_buffer: bool = True
+    enforce_nic: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive(self.buffer_bits, "buffer_bits")
+        check_positive(self.nic_bps, "nic_bps")
+        check_positive(self.max_streams, "max_streams")
+
+    def buffer_demand_bits(self, rate_bps: float) -> float:
+        """Double-buffering demand of one stream: two rounds of data at
+        peak rate (one being filled, one being drained)."""
+        return 2.0 * rate_bps * self.disk.round_s
+
+    def evaluate(
+        self,
+        existing_rates_bps: Iterable[float],
+        new_rate_bps: float,
+    ) -> AdmissionDecision:
+        check_positive(new_rate_bps, "new_rate_bps")
+        rates = list(existing_rates_bps)
+
+        if len(rates) + 1 > self.max_streams:
+            return AdmissionDecision(
+                False, "streams",
+                f"stream limit {self.max_streams} reached",
+            )
+
+        if self.enforce_disk and not self.disk.can_admit(rates, new_rate_bps):
+            feasibility = self.disk.round_feasibility(rates + [new_rate_bps])
+            return AdmissionDecision(
+                False, "disk",
+                f"round busy {feasibility.busy_s * 1e3:.1f} ms exceeds "
+                f"{feasibility.round_s * 1e3:.1f} ms",
+            )
+
+        if self.enforce_buffer:
+            demand = sum(self.buffer_demand_bits(r) for r in rates)
+            demand += self.buffer_demand_bits(new_rate_bps)
+            if demand > self.buffer_bits:
+                return AdmissionDecision(
+                    False, "buffer",
+                    f"buffer demand {demand / 8e6:.1f} MB exceeds "
+                    f"{self.buffer_bits / 8e6:.1f} MB",
+                )
+
+        if self.enforce_nic:
+            aggregate = sum(rates) + new_rate_bps
+            if aggregate > self.nic_bps:
+                return AdmissionDecision(
+                    False, "nic",
+                    f"aggregate {aggregate / 1e6:.1f} Mbps exceeds NIC "
+                    f"{self.nic_bps / 1e6:.1f} Mbps",
+                )
+
+        return AdmissionDecision(True)
+
+    def headroom(self, existing_rates_bps: Iterable[float]) -> float:
+        """Largest additional peak rate admissible right now (bps),
+        by bisection over the admission test — used by capacity-planning
+        examples and the FAILEDTRYLATER diagnostics."""
+        rates = list(existing_rates_bps)
+        lo, hi = 0.0, self.nic_bps
+        if not self.evaluate(rates, max(hi, 1.0)).admitted:
+            # bisect only when the top is infeasible; otherwise hi is it
+            for _ in range(48):
+                mid = (lo + hi) / 2.0
+                if mid <= 0.0:
+                    break
+                if self.evaluate(rates, mid).admitted:
+                    lo = mid
+                else:
+                    hi = mid
+            return lo
+        return hi

@@ -1,0 +1,166 @@
+"""The media server: admission + reservation ledger + scheduler.
+
+One :class:`MediaServer` is one server machine of §4's "set of server
+machines".  The QoS manager's resource-commitment step calls
+:meth:`admit` / :meth:`release`; the playout engine drives
+:meth:`execute_round`; the adaptation experiments inject load spikes
+with :meth:`set_degradation` (a degraded server sheds its most recent
+streams exactly like an oversubscribed link does).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..util.errors import AdmissionError, ReservationError
+from ..util.validation import check_fraction, check_name, check_positive
+from .admission import AdmissionController, AdmissionDecision
+from .disk import DiskModel
+from .scheduler import RoundScheduler, SchedulingPolicy
+
+__all__ = ["StreamReservation", "MediaServer"]
+
+
+@dataclass(frozen=True, slots=True)
+class StreamReservation:
+    """One admitted stream's hold on the server."""
+
+    stream_id: str
+    server_id: str
+    variant_id: str
+    rate_bps: float
+    holder: str
+    sequence: int  # admission order; later streams are shed first
+
+
+class MediaServer:
+    """A continuous-media file server machine."""
+
+    def __init__(
+        self,
+        server_id: str,
+        *,
+        access_point: str | None = None,
+        disk: DiskModel | None = None,
+        admission: AdmissionController | None = None,
+        scheduling: SchedulingPolicy = SchedulingPolicy.SCAN,
+    ) -> None:
+        self.server_id = check_name(server_id, "server_id")
+        self.access_point = access_point or f"{server_id}-net"
+        self.disk = disk or DiskModel()
+        self.admission = admission or AdmissionController(disk=self.disk)
+        self.scheduler = RoundScheduler(self.disk, scheduling)
+        self._streams: dict[str, StreamReservation] = {}
+        self._sequence = itertools.count(1)
+        self._degradation = 0.0
+
+    # -- capacity state -----------------------------------------------------------
+
+    def stream_rates(self) -> tuple[float, ...]:
+        return tuple(s.rate_bps for s in self._streams.values())
+
+    @property
+    def stream_count(self) -> int:
+        return len(self._streams)
+
+    @property
+    def aggregate_rate_bps(self) -> float:
+        return sum(self.stream_rates())
+
+    @property
+    def disk_utilization(self) -> float:
+        return self.disk.round_feasibility(self.stream_rates()).disk_utilization
+
+    def can_admit(self, rate_bps: float) -> AdmissionDecision:
+        return self.admission.evaluate(self.stream_rates(), rate_bps)
+
+    # -- admission / release -----------------------------------------------------------
+
+    def admit(
+        self, variant_id: str, rate_bps: float, *, holder: str = "anonymous"
+    ) -> StreamReservation:
+        """Admit one stream or raise :class:`AdmissionError`."""
+        check_positive(rate_bps, "rate_bps")
+        decision = self.can_admit(rate_bps)
+        if not decision:
+            raise AdmissionError(
+                f"{self.server_id} rejected {variant_id!r}: "
+                f"{decision.limiting_resource} ({decision.detail})"
+            )
+        sequence = next(self._sequence)
+        stream_id = f"{self.server_id}/stream-{sequence}"
+        reservation = StreamReservation(
+            stream_id=stream_id,
+            server_id=self.server_id,
+            variant_id=variant_id,
+            rate_bps=rate_bps,
+            holder=holder,
+            sequence=sequence,
+        )
+        self._streams[stream_id] = reservation
+        self.scheduler.add_stream(stream_id, rate_bps)
+        return reservation
+
+    def release(self, reservation: "StreamReservation | str") -> None:
+        stream_id = (
+            reservation.stream_id
+            if isinstance(reservation, StreamReservation)
+            else reservation
+        )
+        if self._streams.pop(stream_id, None) is None:
+            raise ReservationError(
+                f"{self.server_id}: no stream {stream_id!r}"
+            )
+        self.scheduler.remove_stream(stream_id)
+
+    def release_all(self) -> None:
+        for stream_id in list(self._streams):
+            self.release(stream_id)
+
+    def reservations(self) -> tuple[StreamReservation, ...]:
+        return tuple(self._streams.values())
+
+    # -- degradation / adaptation hooks ----------------------------------------------
+
+    def set_degradation(self, fraction: float) -> None:
+        """Shrink the server's deliverable share by ``fraction`` —
+        models a load spike, a failing disk, or background maintenance."""
+        self._degradation = check_fraction(fraction, "degradation fraction")
+
+    @property
+    def degradation(self) -> float:
+        return self._degradation
+
+    def violated_holders(self) -> frozenset[str]:
+        """Holders currently shed because degradation shrank capacity
+        below the admitted aggregate; latest admissions shed first."""
+        if self._degradation == 0.0:
+            return frozenset()
+        rates = self.stream_rates()
+        feasibility = self.disk.round_feasibility(rates)
+        budget = self.disk.round_s * (1.0 - self._degradation)
+        if feasibility.busy_s <= budget + 1e-12:
+            return frozenset()
+        victims: list[str] = []
+        running = 0.0
+        for reservation in sorted(
+            self._streams.values(), key=lambda r: r.sequence
+        ):
+            running += (
+                reservation.rate_bps * self.disk.round_s / self.disk.transfer_rate_bps
+                + self.disk.overhead_s
+            )
+            if running > budget + 1e-12:
+                victims.append(reservation.holder)
+        return frozenset(victims)
+
+    def execute_round(self, rng=None):
+        """Advance one service round (delegates to the scheduler)."""
+        return self.scheduler.execute_round(rng)
+
+    def __repr__(self) -> str:
+        return (
+            f"MediaServer({self.server_id}: {self.stream_count} streams, "
+            f"{self.aggregate_rate_bps / 1e6:.1f} Mbps)"
+        )

@@ -1,0 +1,228 @@
+"""Resource commitment (paper §4 steps 5–6).
+
+Step 5 asks "the transport system and the media file servers to reserve
+resources to support the QoS associated with the system offer" — for
+every monomedia of the offer: a server stream admission plus an
+end-to-end network flow from the hosting server's attachment point to
+the client's.  Commitment is all-or-nothing with rollback, so a
+half-reserved offer never lingers.
+
+Step 6 wraps the held resources in a :class:`Commitment` with a
+confirmation deadline (``choicePeriod``, §8): the user must confirm
+within the period or the reservation is released and the session
+aborted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..cmfs.server import MediaServer, StreamReservation
+from ..network.transport import (
+    FlowReservation,
+    GuaranteeType,
+    TransportSystem,
+)
+from ..util.errors import (
+    AdmissionError,
+    CapacityError,
+    ConfirmationTimeout,
+    ReservationError,
+)
+from .enumeration import OfferSpace
+from .offers import SystemOffer
+
+__all__ = [
+    "ReservationBundle",
+    "ResourceCommitter",
+    "CommitmentState",
+    "Commitment",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ReservationBundle:
+    """Everything held for one committed system offer."""
+
+    offer: SystemOffer
+    streams: tuple[StreamReservation, ...]
+    flows: tuple[FlowReservation, ...]
+    holder: str
+
+
+class ResourceCommitter:
+    """Step-5 executor against the transport system and server fleet."""
+
+    def __init__(
+        self,
+        transport: TransportSystem,
+        servers: Mapping[str, MediaServer],
+    ) -> None:
+        self._transport = transport
+        self._servers = dict(servers)
+
+    @property
+    def servers(self) -> Mapping[str, MediaServer]:
+        return dict(self._servers)
+
+    @property
+    def transport(self) -> TransportSystem:
+        return self._transport
+
+    def server(self, server_id: str) -> MediaServer:
+        try:
+            return self._servers[server_id]
+        except KeyError:
+            raise ReservationError(f"unknown server {server_id!r}") from None
+
+    def try_commit(
+        self,
+        offer: SystemOffer,
+        space: OfferSpace,
+        client_access_point: str,
+        *,
+        guarantee: GuaranteeType = GuaranteeType.GUARANTEED,
+        holder: str = "session",
+    ) -> "ReservationBundle | None":
+        """Attempt to reserve every resource the offer needs.
+
+        Returns the bundle on success; on any admission or capacity
+        failure everything already taken is rolled back and ``None`` is
+        returned (step 5 then moves to the next offer).
+        """
+        streams: list[StreamReservation] = []
+        flows: list[FlowReservation] = []
+        try:
+            for monomedia_id, variant in offer.variants.items():
+                spec = space.spec_for(variant)
+                server = self.server(variant.server_id)
+                rate = guarantee.billable_rate(spec)
+                streams.append(
+                    server.admit(variant.variant_id, rate, holder=holder)
+                )
+                flows.append(
+                    self._transport.reserve(
+                        server.access_point,
+                        client_access_point,
+                        spec,
+                        guarantee=guarantee,
+                        holder=holder,
+                    )
+                )
+        except (AdmissionError, CapacityError, ReservationError):
+            self._rollback(streams, flows)
+            return None
+        return ReservationBundle(
+            offer=offer,
+            streams=tuple(streams),
+            flows=tuple(flows),
+            holder=holder,
+        )
+
+    def release(self, bundle: ReservationBundle) -> None:
+        self._rollback(list(bundle.streams), list(bundle.flows))
+
+    def _rollback(
+        self,
+        streams: "list[StreamReservation]",
+        flows: "list[FlowReservation]",
+    ) -> None:
+        for flow in flows:
+            try:
+                self._transport.release(flow)
+            except ReservationError:
+                pass  # already gone (e.g. double release during teardown)
+        for stream in streams:
+            try:
+                self._servers[stream.server_id].release(stream)
+            except ReservationError:
+                pass
+
+
+class CommitmentState(enum.Enum):
+    PENDING = "pending"      # waiting for user confirmation
+    CONFIRMED = "confirmed"  # playout may start
+    REJECTED = "rejected"    # user declined; resources released
+    EXPIRED = "expired"      # choicePeriod ran out; resources released
+    RELEASED = "released"    # torn down after playout / adaptation
+
+
+class Commitment:
+    """Step 6: reserved resources awaiting user confirmation.
+
+    "The user must confirm the user offer (rejection or acceptance)
+    within a limited amount of time since the resources are reserved."
+    """
+
+    def __init__(
+        self,
+        bundle: ReservationBundle,
+        committer: ResourceCommitter,
+        *,
+        reserved_at: float,
+        choice_period_s: float,
+    ) -> None:
+        self.bundle = bundle
+        self._committer = committer
+        self.reserved_at = float(reserved_at)
+        self.choice_period_s = float(choice_period_s)
+        self.state = CommitmentState.PENDING
+
+    @property
+    def offer(self) -> SystemOffer:
+        return self.bundle.offer
+
+    @property
+    def deadline(self) -> float:
+        return self.reserved_at + self.choice_period_s
+
+    def _expire_if_due(self, now: float) -> None:
+        if self.state is CommitmentState.PENDING and now > self.deadline:
+            self.state = CommitmentState.EXPIRED
+            self._committer.release(self.bundle)
+
+    def confirm(self, now: float) -> None:
+        """User pressed OK.  Raises :class:`ConfirmationTimeout` if the
+        choice period already elapsed (the §8 timer fired: "the session
+        is simply aborted and a new negotiation is required")."""
+        self._expire_if_due(now)
+        if self.state is CommitmentState.EXPIRED:
+            raise ConfirmationTimeout(
+                f"confirmation at t={now:g}s after deadline "
+                f"t={self.deadline:g}s; reservation released"
+            )
+        if self.state is not CommitmentState.PENDING:
+            raise ReservationError(
+                f"cannot confirm a commitment in state {self.state.value}"
+            )
+        self.state = CommitmentState.CONFIRMED
+
+    def reject(self, now: float) -> None:
+        """User pressed CANCEL; resources are de-allocated (§4 step 6)."""
+        self._expire_if_due(now)
+        if self.state in (CommitmentState.EXPIRED, CommitmentState.REJECTED):
+            return
+        if self.state is not CommitmentState.PENDING:
+            raise ReservationError(
+                f"cannot reject a commitment in state {self.state.value}"
+            )
+        self.state = CommitmentState.REJECTED
+        self._committer.release(self.bundle)
+
+    def expire_check(self, now: float) -> bool:
+        """Poll-style timeout check; True if the commitment expired."""
+        self._expire_if_due(now)
+        return self.state is CommitmentState.EXPIRED
+
+    def release(self) -> None:
+        """Tear down after playout completion or adaptation switch."""
+        if self.state in (
+            CommitmentState.RELEASED,
+            CommitmentState.REJECTED,
+            CommitmentState.EXPIRED,
+        ):
+            return
+        self.state = CommitmentState.RELEASED
+        self._committer.release(self.bundle)

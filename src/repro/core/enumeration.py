@@ -1,0 +1,238 @@
+"""Feasible system-offer enumeration (paper §4 steps 2–3).
+
+Step 2 filters each monomedia's variants against the client machine
+(decoder compatibility); the *feasible system offers* are then the
+cartesian product of the surviving per-monomedia variant lists, each
+offer priced by the §7 cost model and annotated with its presented QoS.
+
+The product space can be large (variants^monomedia); :class:`OfferSpace`
+therefore precomputes everything *per variant* (presented QoS, flow
+spec, cost share, importance share — all separable across monomedia)
+and only materialises offers on demand.  The vectorized classification
+path in :mod:`repro.core.classification` consumes the per-axis arrays
+directly and never materialises anything.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..client.machine import ClientMachine
+from ..documents.document import Document
+from ..documents.monomedia import Variant
+from ..documents.quality import MediaQoS
+from ..network.qosparams import FlowSpec
+from ..network.transport import GuaranteeType
+from ..util.errors import OfferError
+from ..util.units import Money
+from .cost import CostModel
+from .mapping import QoSMapper
+from .offers import SystemOffer
+
+__all__ = ["VariantChoice", "OfferSpace", "build_offer_space"]
+
+
+@dataclass(frozen=True, slots=True)
+class VariantChoice:
+    """One feasible variant with everything negotiation needs about it."""
+
+    variant: Variant
+    presented: MediaQoS
+    spec: FlowSpec
+    network_cents: int
+    server_cents: int
+
+    @property
+    def cost_cents(self) -> int:
+        return self.network_cents + self.server_cents
+
+
+class OfferSpace:
+    """The feasible offer product space of one (document, client) pair."""
+
+    def __init__(
+        self,
+        document: Document,
+        choices: Mapping[str, Sequence[VariantChoice]],
+        copyright_cents: int,
+        rejected: Mapping[str, Sequence[Variant]],
+    ) -> None:
+        self.document = document
+        self._axes: dict[str, tuple[VariantChoice, ...]] = {
+            monomedia_id: tuple(options)
+            for monomedia_id, options in choices.items()
+        }
+        self.copyright_cents = int(copyright_cents)
+        self.rejected: dict[str, tuple[Variant, ...]] = {
+            monomedia_id: tuple(variants)
+            for monomedia_id, variants in rejected.items()
+        }
+
+    # -- shape -------------------------------------------------------------------
+
+    @property
+    def monomedia_ids(self) -> tuple[str, ...]:
+        return tuple(self._axes)
+
+    @property
+    def empty_axes(self) -> tuple[str, ...]:
+        """Monomedia left with zero feasible variants — non-empty means
+        FAILEDWITHOUTOFFER (§4 step 2)."""
+        return tuple(mid for mid, options in self._axes.items() if not options)
+
+    @property
+    def is_empty(self) -> bool:
+        return bool(self.empty_axes) or not self._axes
+
+    def axis(self, monomedia_id: str) -> tuple[VariantChoice, ...]:
+        try:
+            return self._axes[monomedia_id]
+        except KeyError:
+            raise OfferError(f"no axis for monomedia {monomedia_id!r}") from None
+
+    def axis_sizes(self) -> dict[str, int]:
+        return {mid: len(options) for mid, options in self._axes.items()}
+
+    @property
+    def offer_count(self) -> int:
+        if self.is_empty:
+            return 0
+        count = 1
+        for options in self._axes.values():
+            count *= len(options)
+        return count
+
+    # -- materialisation ------------------------------------------------------------
+
+    def _offer_from_choices(
+        self, index: int, picked: tuple[VariantChoice, ...]
+    ) -> SystemOffer:
+        cents = self.copyright_cents + sum(c.cost_cents for c in picked)
+        return SystemOffer(
+            offer_id=f"offer-{index}",
+            variants={
+                c.variant.monomedia_id: c.variant for c in picked
+            },
+            presented={
+                c.variant.monomedia_id: c.presented for c in picked
+            },
+            cost=Money(cents),
+        )
+
+    def iter_offers(self) -> Iterator[SystemOffer]:
+        """Deterministic enumeration (last monomedia axis varies
+        fastest); ids are the enumeration index."""
+        if self.is_empty:
+            return
+        axes = list(self._axes.values())
+        for index, picked in enumerate(itertools.product(*axes), start=1):
+            yield self._offer_from_choices(index, picked)
+
+    def offer_at(self, flat_index: int) -> SystemOffer:
+        """Materialise the offer at one flat product index (0-based,
+        same order as :meth:`iter_offers`) — the vectorized classifier
+        hands back indices, this turns them into offers."""
+        if self.is_empty:
+            raise OfferError("offer space is empty")
+        sizes = [len(options) for options in self._axes.values()]
+        if not (0 <= flat_index < self.offer_count):
+            raise OfferError(
+                f"flat index {flat_index} outside [0, {self.offer_count})"
+            )
+        picked: list[VariantChoice] = []
+        remainder = flat_index
+        for options, radix in zip(
+            self._axes.values(),
+            _suffix_products(sizes),
+        ):
+            digit, remainder = divmod(remainder, radix)
+            picked.append(options[digit])
+        return self._offer_from_choices(flat_index + 1, tuple(picked))
+
+    def materialize(self, max_offers: "int | None" = None) -> list[SystemOffer]:
+        offers = []
+        for offer in self.iter_offers():
+            offers.append(offer)
+            if max_offers is not None and len(offers) >= max_offers:
+                break
+        return offers
+
+    # -- vectorized views --------------------------------------------------------------
+
+    def cost_cents_axes(self) -> list[np.ndarray]:
+        """Per-axis arrays of variant cost shares (cents)."""
+        return [
+            np.array([c.cost_cents for c in options], dtype=np.int64)
+            for options in self._axes.values()
+        ]
+
+    def spec_for(self, variant: Variant) -> FlowSpec:
+        for options in self._axes.values():
+            for choice in options:
+                if choice.variant.variant_id == variant.variant_id:
+                    return choice.spec
+        raise OfferError(f"variant {variant.variant_id!r} not in offer space")
+
+
+def _suffix_products(sizes: "list[int]") -> "list[int]":
+    """For mixed-radix decoding: products of the sizes *after* each
+    axis (last axis varies fastest in ``itertools.product``)."""
+    out = [1] * len(sizes)
+    for i in range(len(sizes) - 2, -1, -1):
+        out[i] = out[i + 1] * sizes[i + 1]
+    return out
+
+
+def build_offer_space(
+    document: Document,
+    client: ClientMachine,
+    cost_model: CostModel,
+    *,
+    mapper: QoSMapper | None = None,
+    guarantee: GuaranteeType = GuaranteeType.GUARANTEED,
+    variant_filter: "Callable[[Variant], bool] | None" = None,
+) -> OfferSpace:
+    """Run §4 step 2 (compatibility filtering) and precompute the §4
+    step 3 classification inputs for every surviving variant.
+
+    ``variant_filter`` adds caller-defined feasibility rules on top of
+    decoder compatibility (e.g. the security floor of
+    :mod:`repro.core.preferences`); filtered variants join the rejected
+    set like any undecodable one.
+    """
+    mapper = mapper or QoSMapper()
+    choices: dict[str, list[VariantChoice]] = {}
+    rejected: dict[str, list[Variant]] = {}
+    for component in document.components:
+        axis: list[VariantChoice] = []
+        dropped: list[Variant] = []
+        for variant in component.variants:
+            if not client.can_decode(variant) or (
+                variant_filter is not None and not variant_filter(variant)
+            ):
+                dropped.append(variant)
+                continue
+            presented = client.presented_qos(variant)
+            spec = mapper.flow_spec(variant)
+            item_cost = cost_model.monomedia_cost(variant, spec, guarantee)
+            axis.append(
+                VariantChoice(
+                    variant=variant,
+                    presented=presented,
+                    spec=spec,
+                    network_cents=item_cost.network_cost.cents,
+                    server_cents=item_cost.server_cost.cents,
+                )
+            )
+        choices[component.monomedia_id] = axis
+        rejected[component.monomedia_id] = dropped
+    return OfferSpace(
+        document=document,
+        choices=choices,
+        copyright_cents=document.copyright_cost.cents,
+        rejected=rejected,
+    )

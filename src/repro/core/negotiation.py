@@ -1,0 +1,323 @@
+"""The QoS manager and the six-step negotiation procedure (paper §4).
+
+Inputs: "the document to be played and the user profile selected by the
+user"; output: "the negotiation status and possibly a user offer".  The
+steps, in order:
+
+1. **Static local negotiation** — client machine characteristics vs the
+   requested QoS → FAILEDWITHLOCALOFFER (with the best locally
+   presentable QoS as the returned offer).
+2. **Static compatibility checking** — variant codecs vs client
+   decoders → FAILEDWITHOUTOFFER when nothing decodable remains.
+3. **Computation of classification parameters** — SNS + OIF per
+   feasible offer.
+4. **Classification of system offers** — best → worst (policy
+   configurable, see :mod:`repro.core.classification`).
+5. **Resource commitment** — walk the list (offers satisfying the
+   requested QoS *and* cost first, then the remaining feasible offers,
+   always in classified order), reserving server + network resources
+   with rollback → SUCCEEDED / FAILEDWITHOFFER / FAILEDTRYLATER.
+6. **User confirmation** — the returned :class:`Commitment` must be
+   confirmed within ``choicePeriod`` or the reservation evaporates.
+
+The full classified list is kept on the result: "during the active
+phase, if QoS violations occur the adaptation procedure makes use of
+the whole set of feasible system offers" (§4).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..client.machine import ClientMachine
+from ..cmfs.server import MediaServer
+from ..documents.document import Document
+from ..documents.media import Medium
+from ..documents.quality import MediaQoS
+from ..metadata.database import MetadataDatabase
+from ..network.transport import GuaranteeType, TransportSystem
+from ..util.clock import ManualClock
+from ..util.errors import NegotiationError
+from .classification import (
+    ClassificationPolicy,
+    ClassifiedOffer,
+    apply_offer_bonus,
+    classify_space,
+)
+from .commitment import Commitment, ResourceCommitter
+from .cost import CostModel, default_cost_model
+from .enumeration import OfferSpace, build_offer_space
+from .importance import ImportanceProfile, default_importance
+from .mapping import QoSMapper
+from .offers import derive_user_offer
+from .profiles import MMProfile, UserProfile
+from .status import NegotiationStatus
+
+__all__ = ["NegotiationResult", "QoSManager"]
+
+
+@dataclass(slots=True)
+class NegotiationResult:
+    """Status + user offer + everything adaptation needs later."""
+
+    status: NegotiationStatus
+    user_offer: MMProfile | None = None
+    chosen: ClassifiedOffer | None = None
+    commitment: Commitment | None = None
+    classified: list[ClassifiedOffer] = field(default_factory=list)
+    offer_space: OfferSpace | None = None
+    local_violations: dict[Medium, tuple[str, ...]] = field(default_factory=dict)
+    attempts: int = 0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status.is_success
+
+    def summary(self) -> str:
+        lines = [f"negotiation status: {self.status}"]
+        if self.user_offer is not None:
+            lines.append(f"user offer: {self.user_offer.describe()}")
+        if self.chosen is not None:
+            lines.append(f"chosen: {self.chosen}")
+        lines.append(f"offers classified: {len(self.classified)}")
+        lines.append(f"commitment attempts: {self.attempts}")
+        return "\n".join(lines)
+
+
+class QoSManager:
+    """The component implementing QoS negotiation and adaptation (§4).
+
+    One manager serves one deployment (metadata DB + transport + server
+    fleet); :meth:`negotiate` runs the procedure for one user request.
+    """
+
+    def __init__(
+        self,
+        *,
+        database: MetadataDatabase,
+        transport: TransportSystem,
+        servers: Mapping[str, MediaServer],
+        cost_model: CostModel | None = None,
+        mapper: QoSMapper | None = None,
+        clock: ManualClock | None = None,
+        policy: ClassificationPolicy = ClassificationPolicy.SNS_PRIMARY,
+        guarantee: GuaranteeType = GuaranteeType.GUARANTEED,
+        directory: "object | None" = None,
+    ) -> None:
+        self.database = database
+        self.cost_model = cost_model or default_cost_model()
+        self.mapper = mapper or QoSMapper()
+        self.clock = clock or ManualClock()
+        self.policy = policy
+        self.guarantee = guarantee
+        self.directory = directory  # ServerDirectory, for preferences
+        self.committer = ResourceCommitter(transport, servers)
+        self._holders = itertools.count(1)
+
+    # -- step 1 -----------------------------------------------------------------
+
+    def _static_local_negotiation(
+        self, document: Document, profile: UserProfile, client: ClientMachine
+    ) -> "tuple[dict[Medium, tuple[str, ...]], MMProfile]":
+        """Check client characteristics against the desired QoS; return
+        (violations, best locally supportable MM profile)."""
+        violations: dict[Medium, tuple[str, ...]] = {}
+        local_best: dict[str, MediaQoS] = {}
+        for medium, requirement in profile.desired.qos_points():
+            result = client.check_local(requirement)
+            if not result.supported:
+                violations[medium] = result.violations
+            local_best[medium.value] = result.local_best
+        if document.sync.spatial is not None:
+            width, height = document.sync.spatial.bounding_box()
+            if not client.fits_layout(width, height):
+                violations.setdefault(Medium.VIDEO, ("layout",))
+        best_profile = MMProfile(
+            cost=profile.desired.cost,
+            time=profile.desired.time,
+            **local_best,
+        )
+        return violations, best_profile
+
+    # -- the procedure -----------------------------------------------------------------
+
+    def negotiate(
+        self,
+        document: "Document | str",
+        profile: UserProfile,
+        client: ClientMachine,
+        *,
+        policy: ClassificationPolicy | None = None,
+        guarantee: GuaranteeType | None = None,
+        max_offers: "int | None" = None,
+    ) -> NegotiationResult:
+        """Run steps 1–5 and wrap the reservation for step 6."""
+        if isinstance(document, str):
+            document = self.database.get_document(document)
+        importance = self._importance_of(profile)
+        policy = policy or self.policy
+        guarantee = guarantee or self.guarantee
+
+        # Step 1: static local negotiation.
+        violations, local_best = self._static_local_negotiation(
+            document, profile, client
+        )
+        if violations:
+            return NegotiationResult(
+                status=NegotiationStatus.FAILED_WITH_LOCAL_OFFER,
+                user_offer=local_best,
+                local_violations=violations,
+            )
+
+        # Step 2: static compatibility checking (decoder support, plus
+        # the security floor when the profile carries preferences).
+        preferences = self._preferences_of(profile)
+        variant_filter = None
+        if preferences is not None and self.directory is not None:
+            variant_filter = preferences.variant_filter(self.directory)
+        space = build_offer_space(
+            document,
+            client,
+            self.cost_model,
+            mapper=self.mapper,
+            guarantee=guarantee,
+            variant_filter=variant_filter,
+        )
+        if space.is_empty:
+            return NegotiationResult(
+                status=NegotiationStatus.FAILED_WITHOUT_OFFER,
+                offer_space=space,
+            )
+
+        # Steps 3–4: classification parameters + ordering.
+        classified = classify_space(
+            space, profile, importance, policy=policy, top_k=max_offers
+        )
+        if preferences is not None and not preferences.is_trivial:
+            classified = apply_offer_bonus(
+                classified, preferences.offer_bonus, policy=policy
+            )
+
+        # Step 5: resource commitment.
+        return self._commit_best(
+            classified, space, profile, client, guarantee
+        )
+
+    def _commit_best(
+        self,
+        classified: "list[ClassifiedOffer]",
+        space: OfferSpace,
+        profile: UserProfile,
+        client: ClientMachine,
+        guarantee: GuaranteeType,
+        *,
+        exclude_offer_ids: frozenset[str] = frozenset(),
+    ) -> NegotiationResult:
+        """Walk the classified list in two passes (§5.2.2(c)):
+        user-satisfying offers first, then the remaining feasible ones —
+        each pass in classified order."""
+        holder = f"session-{next(self._holders)}"
+        attempts = 0
+        satisfying = [
+            c for c in classified
+            if c.satisfies_user and c.offer.offer_id not in exclude_offer_ids
+        ]
+        fallback = [
+            c for c in classified
+            if not c.satisfies_user and c.offer.offer_id not in exclude_offer_ids
+        ]
+        for candidate in itertools.chain(satisfying, fallback):
+            attempts += 1
+            bundle = self.committer.try_commit(
+                candidate.offer,
+                space,
+                client.access_point,
+                guarantee=guarantee,
+                holder=holder,
+            )
+            if bundle is None:
+                continue
+            commitment = Commitment(
+                bundle,
+                self.committer,
+                reserved_at=self.clock.now(),
+                choice_period_s=profile.choice_period_s,
+            )
+            status = (
+                NegotiationStatus.SUCCEEDED
+                if candidate.satisfies_user
+                else NegotiationStatus.FAILED_WITH_OFFER
+            )
+            return NegotiationResult(
+                status=status,
+                user_offer=derive_user_offer(
+                    candidate.offer, profile.desired.time
+                ),
+                chosen=candidate,
+                commitment=commitment,
+                classified=classified,
+                offer_space=space,
+                attempts=attempts,
+            )
+        # "If the whole set of the feasible system offers are considered
+        # and no resources are available" (§4 step 5):
+        return NegotiationResult(
+            status=NegotiationStatus.FAILED_TRY_LATER,
+            classified=classified,
+            offer_space=space,
+            attempts=attempts,
+        )
+
+    # -- renegotiation (§8) ------------------------------------------------------------
+
+    def renegotiate(
+        self,
+        previous: NegotiationResult,
+        document: "Document | str",
+        profile: UserProfile,
+        client: ClientMachine,
+        **kwargs,
+    ) -> NegotiationResult:
+        """The GUI's renegotiation path: "modify the offer and then push
+        OK to initiate a renegotiation" (§8).
+
+        Any resources still held by ``previous`` are released first
+        (rejecting the pending offer), then the procedure runs afresh
+        with the edited profile.
+        """
+        if previous.commitment is not None:
+            try:
+                previous.commitment.reject(self.clock.now())
+            except NegotiationError:
+                pass  # already expired: nothing held
+        return self.negotiate(document, profile, client, **kwargs)
+
+    # -- helpers ------------------------------------------------------------------------
+
+    @staticmethod
+    def _preferences_of(profile: UserProfile):
+        preferences = profile.preferences
+        if preferences is None:
+            return None
+        from .preferences import UserPreferences
+
+        if not isinstance(preferences, UserPreferences):
+            raise NegotiationError(
+                f"profile {profile.name!r} carries invalid preferences "
+                f"({type(preferences).__name__})"
+            )
+        return preferences
+
+    @staticmethod
+    def _importance_of(profile: UserProfile) -> ImportanceProfile:
+        importance = profile.importance
+        if importance is None:
+            return default_importance()
+        if not isinstance(importance, ImportanceProfile):
+            raise NegotiationError(
+                f"profile {profile.name!r} carries an invalid importance "
+                f"profile ({type(importance).__name__})"
+            )
+        return importance

@@ -1,0 +1,232 @@
+"""Persistence for user profiles (the GUI's *Save* across sessions).
+
+The §8 profile manager persists user profiles between sessions; this
+module serializes the full :class:`UserProfile` — the two MM profiles,
+the importance profile (anchors, overrides, per-level tables, media
+weights, cost weight) and the extension preferences — to versioned JSON,
+reusing the metadata layer's QoS record format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..documents.media import AudioGrade, ColorMode, Language, Medium
+from ..metadata.schema import qos_from_record, qos_to_record
+from ..util.errors import PersistenceError
+from ..util.units import Money
+from .importance import ImportanceProfile, ScaleImportance
+from .preferences import SecurityLevel, UserPreferences
+from .profile_manager import ProfileManager
+from .profiles import MMProfile, TimeProfile, UserProfile
+
+__all__ = [
+    "PROFILE_SCHEMA_VERSION",
+    "profile_to_record",
+    "profile_from_record",
+    "dump_profiles",
+    "load_profiles",
+    "save_profiles",
+    "read_profiles",
+]
+
+PROFILE_SCHEMA_VERSION = 1
+
+
+# -- MM profile ----------------------------------------------------------------
+
+def _mm_to_record(mm: MMProfile) -> dict:
+    record: dict = {
+        "cost_cents": mm.cost.cents,
+        "time": {
+            "delivery_deadline_s": mm.time.delivery_deadline_s,
+            "choice_period_s": mm.time.choice_period_s,
+        },
+        "media": {},
+    }
+    for medium, qos in mm.qos_points():
+        record["media"][medium.value] = qos_to_record(qos)
+    return record
+
+
+def _mm_from_record(record: dict) -> MMProfile:
+    media = {
+        Medium.parse(name).value: qos_from_record(blob)
+        for name, blob in record.get("media", {}).items()
+    }
+    time_blob = record.get("time", {})
+    return MMProfile(
+        cost=Money(int(record.get("cost_cents", 0))),
+        time=TimeProfile(
+            delivery_deadline_s=float(
+                time_blob.get("delivery_deadline_s", 30.0)
+            ),
+            choice_period_s=float(time_blob.get("choice_period_s", 60.0)),
+        ),
+        **media,
+    )
+
+
+# -- importance profile ----------------------------------------------------------
+
+def _scale_to_record(scale: ScaleImportance) -> dict:
+    return {
+        "anchors": {str(k): v for k, v in scale.anchors.items()},
+        "overrides": {str(k): v for k, v in scale.overrides.items()},
+    }
+
+
+def _scale_from_record(record: dict) -> ScaleImportance:
+    return ScaleImportance(
+        anchors={float(k): float(v) for k, v in record["anchors"].items()},
+        overrides={
+            float(k): float(v)
+            for k, v in record.get("overrides", {}).items()
+        },
+    )
+
+
+def _importance_to_record(importance: ImportanceProfile) -> dict:
+    return {
+        "color": {mode.name.lower(): v for mode, v in importance.color.items()},
+        "frame_rate": _scale_to_record(importance.frame_rate),
+        "resolution": _scale_to_record(importance.resolution),
+        "audio_grade": {
+            grade.name.lower(): v
+            for grade, v in importance.audio_grade.items()
+        },
+        "language": {
+            language.value: v for language, v in importance.language.items()
+        },
+        "media_weight": {
+            medium.value: weight
+            for medium, weight in importance.media_weight.items()
+            if weight != 1.0
+        },
+        "cost_per_dollar": importance.cost_per_dollar,
+    }
+
+
+def _importance_from_record(record: dict) -> ImportanceProfile:
+    return ImportanceProfile(
+        color={
+            ColorMode.parse(name): float(v)
+            for name, v in record["color"].items()
+        },
+        frame_rate=_scale_from_record(record["frame_rate"]),
+        resolution=_scale_from_record(record["resolution"]),
+        audio_grade={
+            AudioGrade.parse(name): float(v)
+            for name, v in record["audio_grade"].items()
+        },
+        language={
+            Language.parse(code): float(v)
+            for code, v in record["language"].items()
+        },
+        media_weight={
+            Medium.parse(name): float(weight)
+            for name, weight in record.get("media_weight", {}).items()
+        },
+        cost_per_dollar=float(record.get("cost_per_dollar", 0.0)),
+    )
+
+
+# -- preferences --------------------------------------------------------------------
+
+def _preferences_to_record(preferences: UserPreferences) -> dict:
+    return {
+        "server_preference": dict(preferences.server_preference),
+        "min_security": preferences.min_security.name.lower(),
+    }
+
+
+def _preferences_from_record(record: dict) -> UserPreferences:
+    return UserPreferences(
+        server_preference=record.get("server_preference", {}),
+        min_security=SecurityLevel.parse(
+            record.get("min_security", "public")
+        ),
+    )
+
+
+# -- user profile -----------------------------------------------------------------------
+
+def profile_to_record(profile: UserProfile) -> dict:
+    record: dict = {
+        "name": profile.name,
+        "desired": _mm_to_record(profile.desired),
+        "worst": _mm_to_record(profile.worst),
+    }
+    if isinstance(profile.importance, ImportanceProfile):
+        record["importance"] = _importance_to_record(profile.importance)
+    if isinstance(profile.preferences, UserPreferences):
+        record["preferences"] = _preferences_to_record(profile.preferences)
+    return record
+
+
+def profile_from_record(record: dict) -> UserProfile:
+    try:
+        importance = (
+            _importance_from_record(record["importance"])
+            if "importance" in record
+            else None
+        )
+        preferences = (
+            _preferences_from_record(record["preferences"])
+            if "preferences" in record
+            else None
+        )
+        return UserProfile(
+            name=record["name"],
+            desired=_mm_from_record(record["desired"]),
+            worst=_mm_from_record(record["worst"]),
+            importance=importance,
+            preferences=preferences,
+        )
+    except KeyError as exc:
+        raise PersistenceError(f"profile record missing field: {exc}") from None
+
+
+# -- whole profile manager -----------------------------------------------------------------
+
+def dump_profiles(manager: ProfileManager, *, indent: "int | None" = 2) -> str:
+    envelope = {
+        "schema_version": PROFILE_SCHEMA_VERSION,
+        "default": manager.default_name,
+        "profiles": [profile_to_record(p) for p in manager],
+    }
+    return json.dumps(envelope, indent=indent, sort_keys=True)
+
+
+def load_profiles(text: str) -> ProfileManager:
+    try:
+        envelope = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"invalid JSON: {exc}") from None
+    version = envelope.get("schema_version")
+    if version != PROFILE_SCHEMA_VERSION:
+        raise PersistenceError(
+            f"unsupported profile schema version {version!r}"
+        )
+    manager = ProfileManager(profiles=[])
+    for record in envelope.get("profiles", ()):
+        manager.save_as(profile_from_record(record))
+    default = envelope.get("default")
+    if default and default in manager:
+        manager.set_default(default)
+    return manager
+
+
+def save_profiles(manager: ProfileManager, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.write_text(dump_profiles(manager), encoding="utf-8")
+    return path
+
+
+def read_profiles(path: Union[str, Path]) -> ProfileManager:
+    path = Path(path)
+    if not path.exists():
+        raise PersistenceError(f"no profile store at {path}")
+    return load_profiles(path.read_text(encoding="utf-8"))

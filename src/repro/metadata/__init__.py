@@ -1,0 +1,25 @@
+"""Metadata database substrate (stands in for the U. Alberta MM DBMS).
+
+Holds documents, monomedia and variants as flat records with the
+indexes the negotiation procedure queries, plus JSON persistence.
+"""
+
+from .database import MetadataDatabase
+from .persistence import (
+    SCHEMA_VERSION,
+    dumps,
+    load_database,
+    loads,
+    save_database,
+)
+from .schema import (
+    DocumentRecord,
+    MonomediaRecord,
+    VariantRecord,
+    qos_from_record,
+    qos_to_record,
+    sync_from_record,
+    sync_to_record,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

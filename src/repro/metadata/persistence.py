@@ -1,0 +1,62 @@
+"""JSON persistence for the metadata database.
+
+The record layer is already plain dicts/strings/numbers, so persistence
+is a thin, versioned JSON envelope.  A version field guards against
+loading snapshots written by incompatible schema revisions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..util.errors import PersistenceError
+from .database import MetadataDatabase
+
+__all__ = ["SCHEMA_VERSION", "save_database", "load_database", "dumps", "loads"]
+
+SCHEMA_VERSION = 1
+
+
+def dumps(db: MetadataDatabase, *, indent: "int | None" = 2) -> str:
+    """Serialize ``db`` to a JSON string."""
+    envelope = {"schema_version": SCHEMA_VERSION, "relations": db.dump_records()}
+    return json.dumps(envelope, indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> MetadataDatabase:
+    """Deserialize a database from :func:`dumps` output."""
+    try:
+        envelope = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"invalid JSON: {exc}") from None
+    if not isinstance(envelope, dict):
+        raise PersistenceError("snapshot root must be a JSON object")
+    version = envelope.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise PersistenceError(
+            f"unsupported schema version {version!r} "
+            f"(this build reads version {SCHEMA_VERSION})"
+        )
+    try:
+        return MetadataDatabase.from_records(envelope["relations"])
+    except KeyError as exc:
+        raise PersistenceError(f"snapshot missing field: {exc}") from None
+    except (TypeError, ValueError) as exc:
+        raise PersistenceError(f"malformed snapshot: {exc}") from None
+
+
+def save_database(db: MetadataDatabase, path: Union[str, Path]) -> Path:
+    """Write ``db`` to ``path`` as JSON; returns the path written."""
+    path = Path(path)
+    path.write_text(dumps(db), encoding="utf-8")
+    return path
+
+
+def load_database(path: Union[str, Path]) -> MetadataDatabase:
+    """Read a database previously written by :func:`save_database`."""
+    path = Path(path)
+    if not path.exists():
+        raise PersistenceError(f"no snapshot at {path}")
+    return loads(path.read_text(encoding="utf-8"))

@@ -1,0 +1,113 @@
+"""Network-level QoS parameters (paper §6).
+
+The QoS manager maps user-level requirements into "QoS parameters that
+the system can handle and manage.  Examples of such parameters are
+delay, throughput, loss rate and jitter."  :class:`PathQoS` carries the
+end-to-end values of one network path; :class:`FlowSpec` is the
+per-stream demand handed to the transport system (the §6 outputs
+``maxBitRate``/``avgBitRate`` plus the preset delay bounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.errors import ValidationError
+from ..util.validation import check_fraction, check_non_negative, check_positive
+
+__all__ = ["PathQoS", "FlowSpec", "STEINMETZ_PRESETS", "preset_for"]
+
+
+@dataclass(frozen=True, slots=True)
+class PathQoS:
+    """End-to-end QoS of a network path.
+
+    Delays and jitter add along a path; loss compounds:
+    ``1 - Π(1 - loss_i)``.
+    """
+
+    delay_s: float
+    jitter_s: float
+    loss_rate: float
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.delay_s, "delay_s")
+        check_non_negative(self.jitter_s, "jitter_s")
+        check_fraction(self.loss_rate, "loss_rate")
+
+    @classmethod
+    def identity(cls) -> "PathQoS":
+        return cls(0.0, 0.0, 0.0)
+
+    def extend(self, other: "PathQoS") -> "PathQoS":
+        """QoS of this path followed by ``other``."""
+        return PathQoS(
+            delay_s=self.delay_s + other.delay_s,
+            jitter_s=self.jitter_s + other.jitter_s,
+            loss_rate=1.0 - (1.0 - self.loss_rate) * (1.0 - other.loss_rate),
+        )
+
+    def satisfies(self, bound: "PathQoS") -> bool:
+        """True iff this path is at least as good as ``bound`` in every
+        parameter (smaller is better throughout)."""
+        return (
+            self.delay_s <= bound.delay_s
+            and self.jitter_s <= bound.jitter_s
+            and self.loss_rate <= bound.loss_rate
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FlowSpec:
+    """The per-stream demand of one monomedia variant (§6 mapping
+    output): peak/average throughput plus tolerable delay bounds."""
+
+    max_bit_rate: float
+    avg_bit_rate: float
+    max_delay_s: float
+    max_jitter_s: float
+    max_loss_rate: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.max_bit_rate, "max_bit_rate")
+        check_positive(self.avg_bit_rate, "avg_bit_rate")
+        if self.avg_bit_rate > self.max_bit_rate:
+            raise ValidationError(
+                f"avg_bit_rate ({self.avg_bit_rate}) exceeds max_bit_rate "
+                f"({self.max_bit_rate})"
+            )
+        check_positive(self.max_delay_s, "max_delay_s")
+        check_non_negative(self.max_jitter_s, "max_jitter_s")
+        check_fraction(self.max_loss_rate, "max_loss_rate")
+
+    @property
+    def qos_bound(self) -> PathQoS:
+        return PathQoS(self.max_delay_s, self.max_jitter_s, self.max_loss_rate)
+
+    @property
+    def burstiness(self) -> float:
+        return self.max_bit_rate / self.avg_bit_rate
+
+
+# §6: "we use specific values for video and audio presented in [Ste 90]
+# based on some experiments.  As an example the following values are
+# considered for the video: jitter = 10 ms, and loss rate 0.003."
+# The audio/still values follow the same source's published bounds.
+STEINMETZ_PRESETS: dict[str, PathQoS] = {
+    "video": PathQoS(delay_s=0.250, jitter_s=0.010, loss_rate=0.003),
+    "audio": PathQoS(delay_s=0.250, jitter_s=0.005, loss_rate=0.010),
+    # Discrete media travel over a reliable transfer (retransmission
+    # masks loss); their bounds only cap the interactive wait.
+    "image": PathQoS(delay_s=2.000, jitter_s=2.000, loss_rate=0.050),
+    "text": PathQoS(delay_s=2.000, jitter_s=2.000, loss_rate=0.050),
+    "graphic": PathQoS(delay_s=2.000, jitter_s=2.000, loss_rate=0.050),
+}
+
+
+def preset_for(medium: "str | object") -> PathQoS:
+    """Delay/jitter/loss preset for a medium (paper §6, after [Ste 90])."""
+    key = getattr(medium, "value", medium)
+    try:
+        return STEINMETZ_PRESETS[str(key)]
+    except KeyError:
+        raise ValidationError(f"no QoS preset for medium {medium!r}") from None

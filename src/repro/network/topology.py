@@ -1,0 +1,123 @@
+"""Network topology: attachment points and links.
+
+Nodes are attachment points (client access networks, server access
+points, backbone switches); edges carry :class:`~repro.network.link.Link`
+objects.  The graph is undirected — the era's ATM links are duplex and
+the paper's flows are one-directional video/audio deliveries whose
+reverse control traffic is negligible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from ..util.errors import NetworkError, NotFoundError
+from .link import Link
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """The set of nodes and links the transport system routes over."""
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+        self._links: dict[str, Link] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_node(self, node_id: str) -> None:
+        self._graph.add_node(node_id)
+
+    def add_link(self, link: Link) -> Link:
+        if link.link_id in self._links:
+            raise NetworkError(f"duplicate link id {link.link_id!r}")
+        if self._graph.has_edge(link.a, link.b):
+            raise NetworkError(
+                f"nodes {link.a!r} and {link.b!r} are already linked"
+            )
+        self._links[link.link_id] = link
+        self._graph.add_edge(link.a, link.b, link=link)
+        return link
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        capacity_bps: float,
+        *,
+        link_id: str | None = None,
+        **link_kwargs,
+    ) -> Link:
+        """Create and add a link between ``a`` and ``b``."""
+        link = Link(
+            link_id or f"link:{a}--{b}", a, b, capacity_bps, **link_kwargs
+        )
+        return self.add_link(link)
+
+    # -- lookup ---------------------------------------------------------------------
+
+    @property
+    def graph(self) -> nx.Graph:
+        return self._graph
+
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(self._graph.nodes)
+
+    def links(self) -> tuple[Link, ...]:
+        return tuple(self._links.values())
+
+    def link(self, link_id: str) -> Link:
+        try:
+            return self._links[link_id]
+        except KeyError:
+            raise NotFoundError(f"no link {link_id!r}") from None
+
+    def link_between(self, a: str, b: str) -> Link:
+        data = self._graph.get_edge_data(a, b)
+        if data is None:
+            raise NotFoundError(f"no link between {a!r} and {b!r}")
+        return data["link"]
+
+    def has_node(self, node_id: str) -> bool:
+        return self._graph.has_node(node_id)
+
+    def links_on_path(self, nodes: Iterable[str]) -> tuple[Link, ...]:
+        """The link sequence along a node path."""
+        nodes = list(nodes)
+        if len(nodes) < 2:
+            raise NetworkError(f"path needs at least 2 nodes, got {nodes!r}")
+        return tuple(
+            self.link_between(a, b) for a, b in zip(nodes, nodes[1:])
+        )
+
+    def neighbors(self, node_id: str) -> tuple[str, ...]:
+        if not self._graph.has_node(node_id):
+            raise NotFoundError(f"no node {node_id!r}")
+        return tuple(self._graph.neighbors(node_id))
+
+    def iter_links(self) -> Iterator[Link]:
+        return iter(self._links.values())
+
+    # -- health ------------------------------------------------------------------------
+
+    def oversubscribed_links(self) -> tuple[Link, ...]:
+        return tuple(l for l in self._links.values() if l.oversubscribed)
+
+    def clear_congestion(self) -> None:
+        for link in self._links.values():
+            link.set_congestion(0.0)
+
+    def total_reserved_bps(self) -> float:
+        return sum(l.reserved_bps for l in self._links.values())
+
+    def total_capacity_bps(self) -> float:
+        return sum(l.capacity_bps for l in self._links.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology({self._graph.number_of_nodes()} nodes, "
+            f"{len(self._links)} links)"
+        )

@@ -1,0 +1,187 @@
+"""Transport system facade — what the QoS manager's step 5 talks to.
+
+"The QoS manager ... asks the transport system and the media file
+servers to reserve resources to support the QoS associated with the
+system offer" (§4 step 5).  :class:`TransportSystem` exposes exactly
+that contract:
+
+* :meth:`probe` — can a flow of a given spec be carried between two
+  attachment points right now? (used to filter offers cheaply before
+  attempting commitment);
+* :meth:`reserve` — atomically reserve the flow's peak rate on every
+  link of a feasible route (all-or-nothing, with rollback);
+* :meth:`release` — tear the flow down;
+* :meth:`violated_flows` — flows currently hit by congestion, the
+  adaptation trigger.
+
+Guaranteed-service flows reserve their peak rate (``maxBitRate``);
+best-effort flows reserve the average rate (``avgBitRate``) — the
+paper's cost model distinguishes exactly these two guarantee types
+(§7).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+
+from ..util.errors import CapacityError, NoRouteError, ReservationError
+from .link import LinkReservation
+from .qosparams import FlowSpec, PathQoS
+from .routing import Route, find_route
+from .topology import Topology
+
+__all__ = ["GuaranteeType", "FlowReservation", "TransportSystem"]
+
+
+class GuaranteeType(enum.Enum):
+    """Service guarantee classes of §7's cost model."""
+
+    GUARANTEED = "guaranteed"
+    BEST_EFFORT = "best-effort"
+
+    def billable_rate(self, spec: FlowSpec) -> float:
+        """The rate reserved (and billed) under this guarantee."""
+        if self is GuaranteeType.GUARANTEED:
+            return spec.max_bit_rate
+        return spec.avg_bit_rate
+
+
+@dataclass(frozen=True, slots=True)
+class FlowReservation:
+    """A committed end-to-end flow."""
+
+    flow_id: str
+    source: str
+    target: str
+    spec: FlowSpec
+    guarantee: GuaranteeType
+    route: Route
+    link_reservations: tuple[LinkReservation, ...]
+
+    @property
+    def reserved_bps(self) -> float:
+        return self.guarantee.billable_rate(self.spec)
+
+
+class TransportSystem:
+    """Per-flow reservation management over a :class:`Topology`."""
+
+    def __init__(self, topology: Topology) -> None:
+        self._topology = topology
+        self._flows: dict[str, FlowReservation] = {}
+        self._flow_ids = itertools.count(1)
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    # -- queries ---------------------------------------------------------------
+
+    def probe(
+        self, source: str, target: str, spec: FlowSpec,
+        guarantee: GuaranteeType = GuaranteeType.GUARANTEED,
+    ) -> "Route | None":
+        """A route able to carry the flow now, or None.
+
+        Checks both residual bandwidth and the flow's delay/jitter/loss
+        bounds against the route's accumulated QoS.
+        """
+        rate = guarantee.billable_rate(spec)
+        try:
+            route = find_route(self._topology, source, target, rate)
+        except NoRouteError:
+            return None
+        if not route.qos.satisfies(spec.qos_bound):
+            return None
+        return route
+
+    def flow(self, flow_id: str) -> FlowReservation:
+        try:
+            return self._flows[flow_id]
+        except KeyError:
+            raise ReservationError(f"no flow {flow_id!r}") from None
+
+    def flows(self) -> tuple[FlowReservation, ...]:
+        return tuple(self._flows.values())
+
+    @property
+    def flow_count(self) -> int:
+        return len(self._flows)
+
+    # -- commitment ----------------------------------------------------------------
+
+    def reserve(
+        self,
+        source: str,
+        target: str,
+        spec: FlowSpec,
+        *,
+        guarantee: GuaranteeType = GuaranteeType.GUARANTEED,
+        holder: str = "anonymous",
+    ) -> FlowReservation:
+        """Atomically reserve a route for the flow.
+
+        All links reserve or none do: on a mid-path failure every
+        already-taken link reservation is rolled back and
+        :class:`CapacityError` propagates (step 5 then tries the next
+        system offer).
+        """
+        route = self.probe(source, target, spec, guarantee)
+        if route is None:
+            raise CapacityError(
+                f"no feasible route {source!r} -> {target!r} for "
+                f"{guarantee.billable_rate(spec):.0f} bps"
+            )
+        rate = guarantee.billable_rate(spec)
+        flow_id = f"flow-{next(self._flow_ids)}"
+        taken: list[LinkReservation] = []
+        try:
+            for link in route.links:
+                taken.append(link.reserve(rate, holder=flow_id))
+        except CapacityError:
+            for link, reservation in zip(route.links, taken):
+                link.release(reservation)
+            raise
+        flow = FlowReservation(
+            flow_id=flow_id,
+            source=source,
+            target=target,
+            spec=spec,
+            guarantee=guarantee,
+            route=route,
+            link_reservations=tuple(taken),
+        )
+        self._flows[flow_id] = flow
+        return flow
+
+    def release(self, flow: "FlowReservation | str") -> None:
+        flow_id = flow.flow_id if isinstance(flow, FlowReservation) else flow
+        record = self._flows.pop(flow_id, None)
+        if record is None:
+            raise ReservationError(f"no flow {flow_id!r}")
+        for link, reservation in zip(
+            record.route.links, record.link_reservations
+        ):
+            link.release(reservation)
+
+    def release_all(self) -> None:
+        for flow_id in list(self._flows):
+            self.release(flow_id)
+
+    # -- health --------------------------------------------------------------------
+
+    def violated_flows(self) -> tuple[FlowReservation, ...]:
+        """Flows crossing at least one oversubscribed link where they
+        are among the shed holders — the §4 adaptation trigger."""
+        victims: set[str] = set()
+        for link in self._topology.oversubscribed_links():
+            victims |= link.violated_holders()
+        return tuple(
+            flow for flow_id, flow in self._flows.items() if flow_id in victims
+        )
+
+    def path_qos(self, flow: "FlowReservation | str") -> PathQoS:
+        record = flow if isinstance(flow, FlowReservation) else self.flow(flow)
+        return record.route.qos

@@ -1,0 +1,19 @@
+"""Future reservations (extension after [Haf 96]): interval ledgers and
+the advance-booking negotiation layer."""
+
+from .advance import (
+    DISK_PLAN_FACTOR,
+    AdvanceBookingPlan,
+    AdvanceNegotiator,
+    AdvancePlanner,
+)
+from .interval import IntervalBooking, IntervalLedger
+
+__all__ = [
+    "DISK_PLAN_FACTOR",
+    "AdvanceBookingPlan",
+    "AdvanceNegotiator",
+    "AdvancePlanner",
+    "IntervalBooking",
+    "IntervalLedger",
+]

@@ -1,0 +1,26 @@
+"""Playout sessions: event loop, monitoring, violations, adaptation loop."""
+
+from .datapath import DataPathReport, StreamDemand, simulate_rounds
+from .engine import EventLoop, ScheduledEvent
+from .monitor import JitterCompensator, QoSMonitor, Violation
+from .playout import PlayoutSession, SessionRecord, SessionState
+from .runtime import SessionRuntime
+from .violations import CongestionEpisode, RandomInjector, ScriptedInjector
+
+__all__ = [
+    "DataPathReport",
+    "StreamDemand",
+    "simulate_rounds",
+    "EventLoop",
+    "ScheduledEvent",
+    "JitterCompensator",
+    "QoSMonitor",
+    "Violation",
+    "PlayoutSession",
+    "SessionRecord",
+    "SessionState",
+    "SessionRuntime",
+    "CongestionEpisode",
+    "RandomInjector",
+    "ScriptedInjector",
+]

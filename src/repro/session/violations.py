@@ -1,0 +1,166 @@
+"""Congestion injection for the adaptation experiments.
+
+The paper demonstrates adaptation when "the network or/and the server
+machine become congested".  We reproduce that with scripted or random
+congestion episodes applied to links and servers on the event loop:
+each episode shrinks a component's effective capacity for a duration,
+then restores it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..cmfs.server import MediaServer
+from ..network.topology import Topology
+from ..util.errors import SimulationError
+from ..util.rng import RngLike, make_rng
+from ..util.validation import check_fraction, check_positive
+from .engine import EventLoop
+
+__all__ = ["CongestionEpisode", "ScriptedInjector", "RandomInjector"]
+
+
+@dataclass(frozen=True, slots=True)
+class CongestionEpisode:
+    """One component degradation: from ``start_s`` for ``duration_s``
+    the target loses ``severity`` of its capacity."""
+
+    target_kind: str  # "link" | "server"
+    target_id: str
+    start_s: float
+    duration_s: float
+    severity: float
+
+    def __post_init__(self) -> None:
+        if self.target_kind not in ("link", "server"):
+            raise SimulationError(
+                f"target_kind must be 'link' or 'server', got "
+                f"{self.target_kind!r}"
+            )
+        check_positive(self.duration_s, "duration_s")
+        check_fraction(self.severity, "severity")
+
+
+class ScriptedInjector:
+    """Applies a fixed list of episodes on an event loop."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        servers: dict[str, MediaServer],
+        episodes: Sequence[CongestionEpisode],
+    ) -> None:
+        self._topology = topology
+        self._servers = dict(servers)
+        self.episodes = tuple(episodes)
+        self.applied: list[CongestionEpisode] = []
+        self.cleared: list[CongestionEpisode] = []
+        self._active: dict[tuple[str, str], list[CongestionEpisode]] = {}
+
+    def arm(self, loop: EventLoop) -> None:
+        """Schedule every episode's start and end on ``loop``."""
+        for episode in self.episodes:
+            loop.at(
+                episode.start_s,
+                lambda ep=episode: self._apply(ep),
+                label=f"congest:{episode.target_id}",
+            )
+            loop.at(
+                episode.start_s + episode.duration_s,
+                lambda ep=episode: self._clear(ep),
+                label=f"heal:{episode.target_id}",
+            )
+
+    def _set_level(self, kind: str, target_id: str) -> None:
+        """Overlapping episodes compose by max severity."""
+        active = self._active.get((kind, target_id), [])
+        level = max((ep.severity for ep in active), default=0.0)
+        if kind == "link":
+            self._topology.link(target_id).set_congestion(level)
+        else:
+            self._server(target_id).set_degradation(level)
+
+    def _apply(self, episode: CongestionEpisode) -> None:
+        key = (episode.target_kind, episode.target_id)
+        self._active.setdefault(key, []).append(episode)
+        self._set_level(*key)
+        self.applied.append(episode)
+
+    def _clear(self, episode: CongestionEpisode) -> None:
+        key = (episode.target_kind, episode.target_id)
+        active = self._active.get(key, [])
+        if episode in active:
+            active.remove(episode)
+        self._set_level(*key)
+        self.cleared.append(episode)
+
+    def _server(self, server_id: str) -> MediaServer:
+        try:
+            return self._servers[server_id]
+        except KeyError:
+            raise SimulationError(f"unknown server {server_id!r}") from None
+
+
+class RandomInjector:
+    """Draws episodes from a seeded random process.
+
+    Episode starts follow a Poisson process of the given rate over the
+    horizon; each episode picks a uniform target (links and servers
+    pooled), an exponential duration and a uniform severity range.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        servers: dict[str, MediaServer],
+        *,
+        rate_per_s: float,
+        horizon_s: float,
+        mean_duration_s: float = 20.0,
+        severity_range: tuple[float, float] = (0.5, 0.95),
+        rng: RngLike = None,
+    ) -> None:
+        check_positive(rate_per_s, "rate_per_s")
+        check_positive(horizon_s, "horizon_s")
+        check_positive(mean_duration_s, "mean_duration_s")
+        lo, hi = severity_range
+        check_fraction(lo, "severity lower bound")
+        check_fraction(hi, "severity upper bound")
+        if lo > hi:
+            raise SimulationError("severity_range must be (lo, hi) with lo <= hi")
+        rng = make_rng(rng)
+
+        targets: list[tuple[str, str]] = [
+            ("link", link.link_id) for link in topology.links()
+        ] + [("server", server_id) for server_id in servers]
+        if not targets:
+            raise SimulationError("no links or servers to congest")
+
+        episodes: list[CongestionEpisode] = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / rate_per_s))
+            if t >= horizon_s:
+                break
+            kind, target_id = targets[int(rng.integers(len(targets)))]
+            episodes.append(
+                CongestionEpisode(
+                    target_kind=kind,
+                    target_id=target_id,
+                    start_s=t,
+                    duration_s=float(rng.exponential(mean_duration_s)) + 1e-3,
+                    severity=float(rng.uniform(lo, hi)),
+                )
+            )
+        self.scripted = ScriptedInjector(topology, servers, episodes)
+
+    @property
+    def episodes(self) -> tuple[CongestionEpisode, ...]:
+        return self.scripted.episodes
+
+    def arm(self, loop: EventLoop) -> None:
+        self.scripted.arm(loop)

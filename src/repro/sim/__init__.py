@@ -1,0 +1,39 @@
+"""Simulation layer: scenarios, workloads, experiment driver, baselines."""
+
+from .baselines import (
+    ALL_BASELINES,
+    CostOnlyNegotiator,
+    FirstFitNegotiator,
+    Negotiator,
+    QoSOnlyNegotiator,
+    RandomNegotiator,
+    SmartNegotiator,
+    StaticNegotiator,
+)
+from .experiment import RunConfig, run_workload
+from .metrics import RunStats, StatusCounts, UtilizationIntegral
+from .scenario import Scenario, ScenarioSpec, build_scenario
+from .workload import Request, WorkloadSpec, generate_requests, zipf_weights
+
+__all__ = [
+    "ALL_BASELINES",
+    "CostOnlyNegotiator",
+    "FirstFitNegotiator",
+    "Negotiator",
+    "QoSOnlyNegotiator",
+    "RandomNegotiator",
+    "SmartNegotiator",
+    "StaticNegotiator",
+    "RunConfig",
+    "run_workload",
+    "RunStats",
+    "StatusCounts",
+    "UtilizationIntegral",
+    "Scenario",
+    "ScenarioSpec",
+    "build_scenario",
+    "Request",
+    "WorkloadSpec",
+    "generate_requests",
+    "zipf_weights",
+]

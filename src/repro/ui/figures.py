@@ -1,0 +1,72 @@
+"""Structure figures rendered from live objects (paper Figures 1–2).
+
+``document_model_figure`` prints the OMT aggregation of Figure 1 for a
+concrete document (document → monomedia → variants); ``mm_profile_figure``
+prints the Figure 2 MM-profile tree for a concrete profile.  The F-series
+benchmark regenerates both.
+"""
+
+from __future__ import annotations
+
+from ..core.profiles import UserProfile
+from ..documents.document import Document
+from ..util.units import format_bitrate, format_size
+
+__all__ = ["document_model_figure", "mm_profile_figure"]
+
+
+def document_model_figure(document: Document) -> str:
+    """Figure 1 instantiated: the aggregation tree of one document."""
+    lines = [
+        f"Document {document.document_id!r} "
+        f"({'monomedia' if document.is_monomedia else 'multimedia'})",
+        f"|  title: {document.title}",
+        f"|  copyright: {document.copyright_cost}",
+        f"|  sync: {len(document.sync.temporal)} temporal relation(s), "
+        f"{'spatial layout' if document.sync.spatial else 'no spatial layout'}",
+    ]
+    for component in document.components:
+        lines.append(f"+- Monomedia {component.monomedia_id!r} "
+                     f"[{component.medium.value}] '{component.title}' "
+                     f"{component.duration_s:g}s")
+        for variant in component.variants:
+            stats = variant.block_stats
+            rate = (
+                format_bitrate(stats.avg_block_bits * stats.blocks_per_second)
+                if stats.blocks_per_second
+                else format_size(variant.size_bits)
+            )
+            lines.append(
+                f"|  +- Variant {variant.variant_id!r}: {variant.codec} "
+                f"{variant.qos} ~{rate} @ {variant.server_id}"
+            )
+    return "\n".join(lines)
+
+
+def mm_profile_figure(profile: UserProfile) -> str:
+    """Figure 2 instantiated: the MM-profile tree of one user profile."""
+    lines = [f"UserProfile {profile.name!r}"]
+    for title, mm in (("desired", profile.desired), ("worst acceptable", profile.worst)):
+        lines.append(f"+- MM profile ({title})")
+        for medium, qos in mm.qos_points():
+            lines.append(f"|  +- {medium.value} profile: {qos}")
+        lines.append(f"|  +- cost profile: {mm.cost}")
+        lines.append(
+            f"|  +- time profile: deadline {mm.time.delivery_deadline_s:g}s, "
+            f"choice period {mm.time.choice_period_s:g}s"
+        )
+    importance = profile.importance
+    lines.append("+- importance profile")
+    if importance is not None:
+        cost_weight = getattr(importance, "cost_per_dollar", None)
+        if cost_weight is not None:
+            lines.append(f"   +- cost importance: {cost_weight:g} per $")
+        media_weight = getattr(importance, "media_weight", None)
+        if media_weight:
+            weights = ", ".join(
+                f"{medium.value}={weight:g}"
+                for medium, weight in media_weight.items()
+                if weight != 1.0
+            )
+            lines.append(f"   +- media weights: {weights or 'uniform'}")
+    return "\n".join(lines)

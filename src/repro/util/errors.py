@@ -1,0 +1,171 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by library code derives from :class:`ReproError`, so
+applications embedding the negotiation procedure can catch one base class
+at their outermost boundary.  Sub-hierarchies mirror the package layout:
+document/metadata errors, client-capability errors, resource errors
+(network + server), and negotiation-protocol errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "UnitError",
+    "DocumentError",
+    "UnknownMediumError",
+    "VariantError",
+    "SynchronizationError",
+    "MetadataError",
+    "DuplicateKeyError",
+    "NotFoundError",
+    "PersistenceError",
+    "ClientError",
+    "DecoderError",
+    "NetworkError",
+    "NoRouteError",
+    "ReservationError",
+    "CapacityError",
+    "ServerError",
+    "AdmissionError",
+    "NegotiationError",
+    "ProfileError",
+    "OfferError",
+    "ConfirmationTimeout",
+    "AdaptationError",
+    "SessionError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """A value object was constructed with out-of-range or inconsistent data."""
+
+
+class UnitError(ValidationError):
+    """A quantity carried the wrong unit or an impossible magnitude."""
+
+
+# --------------------------------------------------------------------------
+# documents / metadata
+# --------------------------------------------------------------------------
+
+class DocumentError(ReproError):
+    """Problems in the multimedia document model."""
+
+
+class UnknownMediumError(DocumentError):
+    """A medium name outside the taxonomy of Section 2 was used."""
+
+
+class VariantError(DocumentError):
+    """A variant was malformed or incompatible with its monomedia."""
+
+
+class SynchronizationError(DocumentError):
+    """Temporal/spatial synchronization constraints are inconsistent."""
+
+
+class MetadataError(ReproError):
+    """Problems in the metadata database substrate."""
+
+
+class DuplicateKeyError(MetadataError):
+    """An insert collided with an existing primary key."""
+
+
+class NotFoundError(MetadataError, KeyError):
+    """A lookup by key found nothing."""
+
+    def __str__(self) -> str:  # KeyError quotes its message; keep it readable
+        return Exception.__str__(self)
+
+
+class PersistenceError(MetadataError):
+    """Serialization or deserialization of the store failed."""
+
+
+# --------------------------------------------------------------------------
+# client
+# --------------------------------------------------------------------------
+
+class ClientError(ReproError):
+    """Problems describing or querying a client machine."""
+
+
+class DecoderError(ClientError):
+    """A decoder description was malformed or a codec is unknown."""
+
+
+# --------------------------------------------------------------------------
+# network / server resources
+# --------------------------------------------------------------------------
+
+class NetworkError(ReproError):
+    """Problems in the network substrate."""
+
+
+class NoRouteError(NetworkError):
+    """No path exists between the requested endpoints."""
+
+
+class ReservationError(ReproError):
+    """A resource reservation could not be created, found, or released."""
+
+
+class CapacityError(ReservationError):
+    """The requested reservation exceeds remaining capacity."""
+
+
+class ServerError(ReproError):
+    """Problems in the continuous-media file server substrate."""
+
+
+class AdmissionError(ServerError):
+    """The admission controller rejected a stream."""
+
+
+# --------------------------------------------------------------------------
+# negotiation core
+# --------------------------------------------------------------------------
+
+class NegotiationError(ReproError):
+    """Protocol-level failures of the negotiation procedure itself.
+
+    Note that ordinary negative outcomes (FAILEDTRYLATER etc.) are *not*
+    exceptions — they are returned in the negotiation result, exactly as
+    Section 4 of the paper returns a negotiation status to the user.
+    """
+
+
+class ProfileError(NegotiationError):
+    """A user/MM/importance profile was malformed."""
+
+
+class OfferError(NegotiationError):
+    """A system/user offer was malformed or used inconsistently."""
+
+
+class ConfirmationTimeout(NegotiationError):
+    """The user failed to confirm an offer within ``choicePeriod``."""
+
+
+class AdaptationError(NegotiationError):
+    """The adaptation procedure could not find or switch to an alternate offer."""
+
+
+# --------------------------------------------------------------------------
+# session / simulation
+# --------------------------------------------------------------------------
+
+class SessionError(ReproError):
+    """Problems in the playout session engine."""
+
+
+class SimulationError(ReproError):
+    """Problems in the workload/scenario simulation layer."""

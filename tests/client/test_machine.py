@@ -1,0 +1,111 @@
+"""Client machine: step-1 local checks and presented QoS."""
+
+import pytest
+
+from repro.client.decoder import DecoderBank, ScalableDecoder
+from repro.client.machine import ClientMachine
+from repro.documents.media import AudioGrade, Codecs, ColorMode, Language
+from repro.documents.monomedia import BlockStats, Variant
+from repro.documents.quality import (
+    AudioQoS,
+    ImageQoS,
+    TextQoS,
+    VideoQoS,
+)
+from repro.util.errors import ClientError
+
+TV = VideoQoS(color=ColorMode.COLOR, frame_rate=25, resolution=720)
+
+
+class TestLocalCheck:
+    def test_supported(self):
+        machine = ClientMachine("c1")
+        result = machine.check_local(TV)
+        assert result.supported
+        assert result.local_best == TV
+        assert result.violations == ()
+
+    def test_paper_example_bw_screen(self):
+        # §4: "the user asks for a color video, while the client machine
+        # screen is black&white" -> FAILEDWITHLOCALOFFER material.
+        machine = ClientMachine("c1", screen_color=ColorMode.BLACK_AND_WHITE)
+        result = machine.check_local(TV)
+        assert not result.supported
+        assert "color" in result.violations
+        assert result.local_best.color is ColorMode.BLACK_AND_WHITE
+
+    def test_frame_rate_and_resolution_clamped(self):
+        machine = ClientMachine("c1", screen_width=640, max_frame_rate=15)
+        result = machine.check_local(TV)
+        assert set(result.violations) == {"frame_rate", "resolution"}
+        assert result.local_best == VideoQoS(
+            color=ColorMode.COLOR, frame_rate=15, resolution=640
+        )
+
+    def test_image_check(self):
+        machine = ClientMachine("c1", screen_color=ColorMode.GREY)
+        result = machine.check_local(
+            ImageQoS(color=ColorMode.COLOR, resolution=360)
+        )
+        assert not result.supported and result.violations == ("color",)
+
+    def test_audio_without_output(self):
+        machine = ClientMachine("c1", audio_output=False)
+        result = machine.check_local(AudioQoS(grade=AudioGrade.CD))
+        assert not result.supported
+        assert result.violations == ("audio_output",)
+
+    def test_text_always_supported(self):
+        machine = ClientMachine("c1")
+        assert machine.check_local(TextQoS(language=Language.FRENCH)).supported
+
+    def test_fits_layout(self):
+        machine = ClientMachine("c1", screen_width=1280, screen_height=1024)
+        assert machine.fits_layout(1280, 1024)
+        assert not machine.fits_layout(1281, 100)
+
+
+class TestPresentedQoS:
+    def _variant(self, codec=Codecs.MPEG2, qos=None):
+        return Variant(
+            variant_id="v1",
+            monomedia_id="m1",
+            codec=codec,
+            qos=qos or VideoQoS(color=ColorMode.SUPER_COLOR, frame_rate=60,
+                                resolution=1920),
+            size_bits=1e8,
+            block_stats=BlockStats(3e5, 1e5, 25.0),
+            server_id="s",
+            duration_s=60.0,
+        )
+
+    def test_display_clamps_quality(self):
+        machine = ClientMachine(
+            "c1", screen_color=ColorMode.COLOR, screen_width=720,
+            max_frame_rate=30,
+            decoders=DecoderBank((ScalableDecoder(Codecs.MPEG2),)),
+        )
+        presented = machine.presented_qos(self._variant())
+        assert presented == VideoQoS(color=ColorMode.COLOR, frame_rate=30,
+                                     resolution=720)
+
+    def test_undecodable_variant_raises(self):
+        machine = ClientMachine(
+            "c1", decoders=DecoderBank(())
+        )
+        with pytest.raises(ClientError):
+            machine.presented_qos(self._variant())
+
+    def test_audio_passthrough(self):
+        machine = ClientMachine("c1")
+        variant = Variant(
+            variant_id="a1",
+            monomedia_id="m1",
+            codec=Codecs.MPEG_AUDIO,
+            qos=AudioQoS(grade=AudioGrade.CD, language=Language.ENGLISH),
+            size_bits=1e7,
+            block_stats=BlockStats(4e3, 3e3, 50.0),
+            server_id="s",
+            duration_s=60.0,
+        )
+        assert machine.presented_qos(variant) == variant.qos

@@ -1,0 +1,96 @@
+"""Round scheduler: SCAN ordering, seek-cost advantage, stream management."""
+
+import numpy as np
+import pytest
+
+from repro.cmfs.disk import DiskModel
+from repro.cmfs.scheduler import RoundScheduler, SchedulingPolicy
+from repro.util.errors import ServerError
+
+
+@pytest.fixture
+def scan():
+    return RoundScheduler(DiskModel(), SchedulingPolicy.SCAN)
+
+
+@pytest.fixture
+def fcfs():
+    return RoundScheduler(DiskModel(), SchedulingPolicy.FCFS)
+
+
+def load(scheduler, positions):
+    for i, pos in enumerate(positions):
+        scheduler.add_stream(f"s{i}", 1e6, track_position=pos)
+
+
+class TestStreamManagement:
+    def test_add_remove(self, scan):
+        scan.add_stream("s1", 2e6)
+        assert scan.stream_count == 1
+        scan.remove_stream("s1")
+        assert scan.stream_count == 0
+
+    def test_duplicate_rejected(self, scan):
+        scan.add_stream("s1", 2e6)
+        with pytest.raises(ServerError):
+            scan.add_stream("s1", 2e6)
+
+    def test_remove_unknown_rejected(self, scan):
+        with pytest.raises(ServerError):
+            scan.remove_stream("ghost")
+
+    def test_rates(self, scan):
+        scan.add_stream("s1", 2e6)
+        scan.add_stream("s2", 3e6)
+        assert sorted(scan.rates()) == [2e6, 3e6]
+
+
+class TestPlanning:
+    def test_scan_orders_by_position(self, scan):
+        load(scan, [0.9, 0.1, 0.5])
+        plan = scan.plan_round()
+        assert plan.order == ("s1", "s2", "s0")
+
+    def test_fcfs_keeps_arrival_order(self, fcfs):
+        load(fcfs, [0.9, 0.1, 0.5])
+        plan = fcfs.plan_round()
+        assert plan.order == ("s0", "s1", "s2")
+
+    def test_scan_never_costs_more_seek_than_fcfs(self):
+        rng = np.random.default_rng(11)
+        for _ in range(50):
+            positions = rng.random(6).tolist()
+            scan = RoundScheduler(DiskModel(), SchedulingPolicy.SCAN)
+            fcfs = RoundScheduler(DiskModel(), SchedulingPolicy.FCFS)
+            load(scan, positions)
+            load(fcfs, positions)
+            assert scan.plan_round().seek_cost <= fcfs.plan_round().seek_cost + 1e-12
+
+    def test_feasibility_reported(self, scan):
+        for i in range(40):
+            scan.add_stream(f"s{i}", 6e6)
+        assert not scan.plan_round().feasible
+
+
+class TestExecution:
+    def test_positions_advance(self, scan):
+        scan.add_stream("s1", 1e6, track_position=0.0)
+        scan.execute_round()
+        state = scan._streams["s1"]
+        assert 0.0 < state.track_position < 0.1
+        assert state.blocks_served == 1
+
+    def test_positions_wrap(self, scan):
+        scan.add_stream("s1", 1e6, track_position=0.99)
+        scan.execute_round()
+        assert scan._streams["s1"].track_position < 0.99
+
+    def test_rng_jitter_deterministic(self):
+        def run(seed):
+            scheduler = RoundScheduler(DiskModel())
+            scheduler.add_stream("s1", 1e6)
+            scheduler.execute_round(np.random.default_rng(seed))
+            return scheduler._streams["s1"].track_position
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)

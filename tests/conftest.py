@@ -1,0 +1,81 @@
+"""Shared fixtures: a small but complete deployment every suite can use."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client import ClientMachine
+from repro.cmfs import MediaServer
+from repro.core import QoSManager, standard_profiles
+from repro.documents import make_news_article
+from repro.metadata import MetadataDatabase
+from repro.network import Topology, TransportSystem
+from repro.session import EventLoop
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture
+def document():
+    """The canonical news article (video+audio+image+text, 16 variants)."""
+    return make_news_article("doc.test")
+
+
+@pytest.fixture
+def database(document):
+    db = MetadataDatabase()
+    db.insert_document(document)
+    return db
+
+
+@pytest.fixture
+def topology():
+    topo = Topology()
+    topo.connect("client-net", "backbone", 100e6, link_id="L-client")
+    topo.connect("backbone", "server-a-net", 155e6, link_id="L-a")
+    topo.connect("backbone", "server-b-net", 155e6, link_id="L-b")
+    return topo
+
+
+@pytest.fixture
+def servers():
+    return {
+        server.server_id: server
+        for server in (MediaServer("server-a"), MediaServer("server-b"))
+    }
+
+
+@pytest.fixture
+def transport(topology):
+    return TransportSystem(topology)
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture
+def manager(database, transport, servers, clock):
+    return QoSManager(
+        database=database, transport=transport, servers=servers, clock=clock
+    )
+
+
+@pytest.fixture
+def loop(clock):
+    return EventLoop(clock)
+
+
+@pytest.fixture
+def client():
+    return ClientMachine("alice", access_point="client-net")
+
+
+@pytest.fixture
+def balanced_profile():
+    return next(p for p in standard_profiles() if p.name == "balanced")
+
+
+@pytest.fixture
+def premium_profile():
+    return next(p for p in standard_profiles() if p.name == "premium")

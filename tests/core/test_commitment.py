@@ -1,0 +1,141 @@
+"""Resource commitment and user confirmation (§4 steps 5–6)."""
+
+import pytest
+
+from repro.core.classification import classify_space
+from repro.core.commitment import (
+    Commitment,
+    CommitmentState,
+    ResourceCommitter,
+)
+from repro.core.cost import default_cost_model
+from repro.core.enumeration import build_offer_space
+from repro.core.importance import default_importance
+from repro.util.errors import ConfirmationTimeout, ReservationError
+
+
+@pytest.fixture
+def space(document, client):
+    return build_offer_space(document, client, default_cost_model())
+
+
+@pytest.fixture
+def committer(transport, servers):
+    return ResourceCommitter(transport, servers)
+
+
+@pytest.fixture
+def best_offer(space, balanced_profile):
+    ranked = classify_space(space, balanced_profile, default_importance())
+    return ranked[0].offer
+
+
+class TestTryCommit:
+    def test_success_reserves_everything(
+        self, committer, best_offer, space, client, transport, servers
+    ):
+        bundle = committer.try_commit(
+            best_offer, space, client.access_point, holder="s1"
+        )
+        assert bundle is not None
+        assert len(bundle.streams) == len(best_offer.variants)
+        assert len(bundle.flows) == len(best_offer.variants)
+        assert transport.flow_count == len(best_offer.variants)
+        assert sum(s.stream_count for s in servers.values()) == len(
+            best_offer.variants
+        )
+
+    def test_release_returns_everything(
+        self, committer, best_offer, space, client, transport, servers
+    ):
+        bundle = committer.try_commit(
+            best_offer, space, client.access_point, holder="s1"
+        )
+        committer.release(bundle)
+        assert transport.flow_count == 0
+        assert sum(s.stream_count for s in servers.values()) == 0
+
+    def test_failure_rolls_back(
+        self, committer, best_offer, space, client, transport, topology, servers
+    ):
+        # Choke the client access link so the *last* flow reservation
+        # fails after earlier resources were taken.
+        topology.link("L-client").set_congestion(0.999)
+        bundle = committer.try_commit(
+            best_offer, space, client.access_point, holder="s1"
+        )
+        assert bundle is None
+        assert transport.flow_count == 0
+        assert sum(s.stream_count for s in servers.values()) == 0
+        assert topology.total_reserved_bps() == 0.0
+
+    def test_unknown_server(self, committer):
+        with pytest.raises(ReservationError):
+            committer.server("server-zz")
+
+
+class TestCommitment:
+    def _commitment(self, committer, best_offer, space, client, period=60.0):
+        bundle = committer.try_commit(
+            best_offer, space, client.access_point, holder="s1"
+        )
+        return Commitment(
+            bundle, committer, reserved_at=0.0, choice_period_s=period
+        )
+
+    def test_confirm_within_period(self, committer, best_offer, space, client):
+        commitment = self._commitment(committer, best_offer, space, client)
+        commitment.confirm(now=30.0)
+        assert commitment.state is CommitmentState.CONFIRMED
+
+    def test_confirm_after_deadline_raises_and_releases(
+        self, committer, best_offer, space, client, transport
+    ):
+        commitment = self._commitment(committer, best_offer, space, client)
+        with pytest.raises(ConfirmationTimeout):
+            commitment.confirm(now=61.0)
+        assert commitment.state is CommitmentState.EXPIRED
+        assert transport.flow_count == 0
+
+    def test_reject_releases(self, committer, best_offer, space, client, transport):
+        commitment = self._commitment(committer, best_offer, space, client)
+        commitment.reject(now=10.0)
+        assert commitment.state is CommitmentState.REJECTED
+        assert transport.flow_count == 0
+
+    def test_expire_check(self, committer, best_offer, space, client, transport):
+        commitment = self._commitment(committer, best_offer, space, client)
+        assert not commitment.expire_check(now=59.9)
+        assert commitment.expire_check(now=60.1)
+        assert transport.flow_count == 0
+
+    def test_double_confirm_rejected(self, committer, best_offer, space, client):
+        commitment = self._commitment(committer, best_offer, space, client)
+        commitment.confirm(now=1.0)
+        with pytest.raises(ReservationError):
+            commitment.confirm(now=2.0)
+
+    def test_release_after_confirm(self, committer, best_offer, space, client, transport):
+        commitment = self._commitment(committer, best_offer, space, client)
+        commitment.confirm(now=1.0)
+        commitment.release()
+        assert commitment.state is CommitmentState.RELEASED
+        assert transport.flow_count == 0
+
+    def test_release_idempotent(self, committer, best_offer, space, client):
+        commitment = self._commitment(committer, best_offer, space, client)
+        commitment.confirm(now=1.0)
+        commitment.release()
+        commitment.release()  # no raise
+
+    def test_reject_after_expiry_is_noop(self, committer, best_offer, space, client):
+        commitment = self._commitment(committer, best_offer, space, client)
+        assert commitment.expire_check(now=100.0)
+        commitment.reject(now=101.0)  # no raise
+        assert commitment.state is CommitmentState.EXPIRED
+
+    def test_deadline(self, committer, best_offer, space, client):
+        commitment = self._commitment(
+            committer, best_offer, space, client, period=42.0
+        )
+        assert commitment.deadline == 42.0

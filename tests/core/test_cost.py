@@ -1,0 +1,153 @@
+"""Cost model: throughput classes, tables, Eq. 1 (§7)."""
+
+import pytest
+
+from repro.core.cost import (
+    CostModel,
+    CostTable,
+    ThroughputClass,
+    default_cost_model,
+    default_network_table,
+    default_server_table,
+)
+from repro.documents.media import Codecs, ColorMode
+from repro.documents.monomedia import BlockStats, Variant
+from repro.documents.quality import VideoQoS
+from repro.network.qosparams import FlowSpec
+from repro.network.transport import GuaranteeType
+from repro.util.errors import ValidationError
+from repro.util.units import dollars
+
+
+def video_variant(duration_s=120.0, mid="m1", name="v1"):
+    return Variant(
+        variant_id=f"{mid}.{name}",
+        monomedia_id=mid,
+        codec=Codecs.MPEG1,
+        qos=VideoQoS(color=ColorMode.COLOR, frame_rate=25, resolution=720),
+        size_bits=3e8,
+        block_stats=BlockStats(3e5, 1e5, 25.0),
+        server_id="s",
+        duration_s=duration_s,
+    )
+
+
+SPEC = FlowSpec(
+    max_bit_rate=7.5e6, avg_bit_rate=2.5e6,
+    max_delay_s=0.25, max_jitter_s=0.01, max_loss_rate=0.003,
+)
+
+
+class TestCostTable:
+    def test_classify_picks_smallest_covering(self):
+        table = CostTable([
+            ThroughputClass(1e6, 0.001),
+            ThroughputClass(8e6, 0.01),
+        ])
+        assert table.classify(0.5e6).ceiling_bps == 1e6
+        assert table.classify(1e6).ceiling_bps == 1e6  # inclusive boundary
+        assert table.classify(1.01e6).ceiling_bps == 8e6
+
+    def test_rate_above_top_class_rejected(self):
+        table = CostTable([ThroughputClass(1e6, 0.001)])
+        with pytest.raises(ValidationError):
+            table.classify(2e6)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            CostTable([])
+
+    def test_duplicate_ceilings_rejected(self):
+        with pytest.raises(ValidationError):
+            CostTable([ThroughputClass(1e6, 0.1), ThroughputClass(1e6, 0.2)])
+
+    def test_decreasing_cost_rejected(self):
+        with pytest.raises(ValidationError):
+            CostTable([
+                ThroughputClass(1e6, 0.2),
+                ThroughputClass(8e6, 0.1),
+            ])
+
+    def test_default_tables_monotone(self):
+        for table in (default_network_table(), default_server_table()):
+            rates = [c.rate_per_second for c in table.classes]
+            assert rates == sorted(rates)
+
+
+class TestMonomediaCost:
+    def test_guaranteed_bills_peak_times_duration(self):
+        model = default_cost_model()
+        item = model.monomedia_cost(video_variant(), SPEC)
+        per_second = model.network.cost_per_second(SPEC.max_bit_rate)
+        assert item.network_cost == dollars(per_second * 120.0)
+        assert item.billed_rate_bps == SPEC.max_bit_rate
+
+    def test_best_effort_bills_avg_with_discount(self):
+        model = default_cost_model()
+        item = model.monomedia_cost(
+            video_variant(), SPEC, GuaranteeType.BEST_EFFORT
+        )
+        per_second = model.network.cost_per_second(SPEC.avg_bit_rate)
+        expected = per_second * 120.0 * (1 - model.best_effort_discount)
+        assert item.network_cost == dollars(expected)
+
+    def test_cost_proportional_to_duration(self):
+        # CostNet_i = CostNet_class x D_i (Eq. 1's per-term form).
+        model = default_cost_model()
+        short = model.monomedia_cost(video_variant(duration_s=60.0), SPEC)
+        long = model.monomedia_cost(video_variant(duration_s=120.0), SPEC)
+        assert long.network_cost.cents == pytest.approx(
+            2 * short.network_cost.cents, abs=1
+        )
+
+    def test_best_effort_cheaper(self):
+        model = default_cost_model()
+        guaranteed = model.monomedia_cost(video_variant(), SPEC)
+        best_effort = model.monomedia_cost(
+            video_variant(), SPEC, GuaranteeType.BEST_EFFORT
+        )
+        assert best_effort.total < guaranteed.total
+
+
+class TestDocumentCost:
+    def test_equation_1(self):
+        # CostDoc = CostCop + sum(CostNet_i + CostSer_i)
+        model = default_cost_model()
+        items = [
+            (video_variant(mid="m1"), SPEC),
+            (video_variant(mid="m2"), SPEC),
+        ]
+        breakdown = model.document_cost(items, copyright_cost=dollars(0.5))
+        manual = dollars(0.5)
+        for variant, spec in items:
+            item = model.monomedia_cost(variant, spec)
+            manual = manual + item.network_cost + item.server_cost
+        assert breakdown.total == manual
+
+    def test_totals_decompose(self):
+        model = default_cost_model()
+        breakdown = model.document_cost(
+            [(video_variant(), SPEC)], copyright_cost=dollars(1)
+        )
+        assert (
+            breakdown.total
+            == breakdown.copyright_cost
+            + breakdown.network_total
+            + breakdown.server_total
+        )
+
+    def test_rows_renderable(self):
+        model = default_cost_model()
+        breakdown = model.document_cost(
+            [(video_variant(), SPEC)], copyright_cost=dollars(1)
+        )
+        rows = breakdown.rows()
+        assert len(rows) == 1 and "m1.v1" in rows[0]
+
+
+class TestCostMonotonicity:
+    def test_higher_rate_never_cheaper(self):
+        model = default_cost_model()
+        rates = [64e3, 500e3, 2e6, 10e6, 100e6]
+        costs = [model.network.cost_per_second(r) for r in rates]
+        assert costs == sorted(costs)

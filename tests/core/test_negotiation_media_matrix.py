@@ -1,0 +1,149 @@
+"""Negotiation across the full media taxonomy (video/audio/image/text/
+graphic), including documents the standard fixtures don't cover."""
+
+import pytest
+
+from repro.client.machine import ClientMachine
+from repro.core import QoSManager, make_profile
+from repro.core.profiles import MMProfile, UserProfile
+from repro.core.status import NegotiationStatus
+from repro.documents import (
+    AudioGrade,
+    AudioQoS,
+    Codecs,
+    ColorMode,
+    DocumentBuilder,
+    GraphicQoS,
+    ImageQoS,
+    Language,
+    MonomediaBuilder,
+    TextQoS,
+    VideoQoS,
+)
+from repro.metadata import MetadataDatabase
+from repro.util.units import dollars
+
+
+def single_medium_document(medium: str):
+    builder = MonomediaBuilder(f"solo.{medium}", medium, f"{medium} item", 60.0)
+    if medium == "video":
+        builder.add_variant(
+            Codecs.MPEG1,
+            VideoQoS(color=ColorMode.COLOR, frame_rate=25, resolution=720),
+            "server-a",
+        )
+    elif medium == "audio":
+        builder.add_variant(
+            Codecs.MPEG_AUDIO,
+            AudioQoS(grade=AudioGrade.CD, language=Language.FRENCH),
+            "server-a",
+        )
+    elif medium == "image":
+        builder.add_variant(
+            Codecs.JPEG, ImageQoS(color=ColorMode.COLOR, resolution=720),
+            "server-a",
+        )
+    elif medium == "text":
+        builder.add_variant(
+            Codecs.HTML, TextQoS(language=Language.FRENCH), "server-a"
+        )
+    elif medium == "graphic":
+        builder.add_variant(
+            Codecs.CGM, GraphicQoS(color=ColorMode.COLOR, resolution=500),
+            "server-a",
+        )
+    return DocumentBuilder(f"doc.solo-{medium}", f"solo {medium}").add(
+        builder
+    ).build()
+
+
+def profile_for(medium: str) -> UserProfile:
+    qos = {
+        "video": VideoQoS(color=ColorMode.GREY, frame_rate=10, resolution=360),
+        "audio": AudioQoS(grade=AudioGrade.TELEPHONE, language=Language.FRENCH),
+        "image": ImageQoS(color=ColorMode.GREY, resolution=360),
+        "text": TextQoS(language=Language.FRENCH),
+        "graphic": GraphicQoS(color=ColorMode.GREY, resolution=100),
+    }[medium]
+    return UserProfile(
+        name=f"{medium}-profile",
+        desired=MMProfile(cost=dollars(10), **{medium: qos}),
+        worst=MMProfile(cost=dollars(10), **{medium: qos}),
+    )
+
+
+@pytest.fixture
+def manager_for(transport, servers, clock):
+    def build(document):
+        database = MetadataDatabase()
+        database.insert_document(document)
+        return QoSManager(
+            database=database, transport=transport, servers=servers,
+            clock=clock,
+        )
+
+    return build
+
+
+@pytest.mark.parametrize("medium", ["video", "audio", "image", "text", "graphic"])
+def test_single_medium_negotiation_succeeds(manager_for, medium, client):
+    document = single_medium_document(medium)
+    manager = manager_for(document)
+    result = manager.negotiate(
+        document.document_id, profile_for(medium), client
+    )
+    assert result.status is NegotiationStatus.SUCCEEDED, medium
+    assert result.user_offer.qos_for(medium) is not None
+    result.commitment.release()
+
+
+def test_audio_only_document_on_mute_client(manager_for):
+    document = single_medium_document("audio")
+    manager = manager_for(document)
+    mute = ClientMachine("mute", audio_output=False, access_point="client-net")
+    result = manager.negotiate(document.document_id, profile_for("audio"), mute)
+    assert result.status is NegotiationStatus.FAILED_WITH_LOCAL_OFFER
+    assert result.local_violations
+
+
+def test_wrong_language_is_constraint_not_rejection(manager_for, client):
+    # The stored text is French; an English-demanding user still gets
+    # the best system offer (FAILEDWITHOFFER), not a rejection.
+    document = single_medium_document("text")
+    manager = manager_for(document)
+    english = UserProfile(
+        name="anglophone",
+        desired=MMProfile(text=TextQoS(language=Language.ENGLISH),
+                          cost=dollars(10)),
+        worst=MMProfile(text=TextQoS(language=Language.ENGLISH),
+                        cost=dollars(10)),
+    )
+    result = manager.negotiate(document.document_id, english, client)
+    assert result.status is NegotiationStatus.FAILED_WITH_OFFER
+    assert result.user_offer.text.language is Language.FRENCH
+    result.commitment.release()
+
+
+def test_five_media_document(manager_for, client):
+    """One document carrying every medium at once."""
+    builder = DocumentBuilder("doc.everything", "the works")
+    for medium in ("video", "audio", "image", "text", "graphic"):
+        solo = single_medium_document(medium)
+        builder.add(solo.components[0])
+    document = builder.build()
+    manager = manager_for(document)
+    profile = make_profile(
+        "omnivore",
+        desired_video=VideoQoS(color=ColorMode.GREY, frame_rate=10,
+                               resolution=360),
+        desired_audio=AudioQoS(grade=AudioGrade.TELEPHONE,
+                               language=Language.FRENCH),
+        desired_image=ImageQoS(color=ColorMode.GREY, resolution=360),
+        desired_text=TextQoS(language=Language.FRENCH),
+        desired_graphic=GraphicQoS(color=ColorMode.GREY, resolution=100),
+        max_cost=20.0,
+    )
+    result = manager.negotiate(document.document_id, profile, client)
+    assert result.status is NegotiationStatus.SUCCEEDED
+    assert len(result.chosen.offer.variants) == 5
+    result.commitment.release()

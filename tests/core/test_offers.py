@@ -1,0 +1,145 @@
+"""System offers and user-offer derivation (§4 Definitions 1–2)."""
+
+import pytest
+
+from repro.core.offers import SystemOffer, derive_user_offer
+from repro.core.profiles import MMProfile
+from repro.documents.media import (
+    AudioGrade,
+    Codecs,
+    ColorMode,
+    Language,
+    Medium,
+)
+from repro.documents.monomedia import BlockStats, Variant
+from repro.documents.quality import AudioQoS, VideoQoS
+from repro.util.errors import OfferError
+from repro.util.units import dollars
+
+TV = VideoQoS(color=ColorMode.COLOR, frame_rate=25, resolution=720)
+LOW = VideoQoS(color=ColorMode.GREY, frame_rate=10, resolution=360)
+
+
+def video_variant(mid="m.video", name="v1", server="server-a", qos=TV):
+    return Variant(
+        variant_id=f"{mid}.{name}",
+        monomedia_id=mid,
+        codec=Codecs.MPEG1,
+        qos=qos,
+        size_bits=1e8,
+        block_stats=BlockStats(3e5, 1e5, 25.0),
+        server_id=server,
+        duration_s=60.0,
+    )
+
+
+def audio_variant(mid="m.audio", language=Language.ENGLISH):
+    return Variant(
+        variant_id=f"{mid}.a1",
+        monomedia_id=mid,
+        codec=Codecs.MPEG_AUDIO,
+        qos=AudioQoS(grade=AudioGrade.CD, language=language),
+        size_bits=1e7,
+        block_stats=BlockStats(4e3, 3e3, 50.0),
+        server_id="server-b",
+        duration_s=60.0,
+    )
+
+
+def make_offer(cost=3.0, video_qos=TV):
+    video = video_variant(qos=video_qos)
+    audio = audio_variant()
+    return SystemOffer(
+        offer_id="o1",
+        variants={"m.video": video, "m.audio": audio},
+        presented={"m.video": video.qos, "m.audio": audio.qos},
+        cost=dollars(cost),
+    )
+
+
+class TestSystemOffer:
+    def test_views(self):
+        offer = make_offer()
+        assert offer.monomedia_ids == ("m.video", "m.audio")
+        assert offer.servers_used() == {"server-a", "server-b"}
+        assert len(offer.qos_points()) == 2
+
+    def test_variant_for(self):
+        offer = make_offer()
+        assert offer.variant_for("m.video").medium is Medium.VIDEO
+        with pytest.raises(OfferError):
+            offer.variant_for("m.ghost")
+
+    def test_empty_rejected(self):
+        with pytest.raises(OfferError):
+            SystemOffer(offer_id="o", variants={}, presented={}, cost=dollars(1))
+
+    def test_mismatched_presented_rejected(self):
+        video = video_variant()
+        with pytest.raises(OfferError):
+            SystemOffer(
+                offer_id="o",
+                variants={"m.video": video},
+                presented={},
+                cost=dollars(1),
+            )
+
+    def test_wrong_key_rejected(self):
+        video = video_variant()
+        with pytest.raises(OfferError):
+            SystemOffer(
+                offer_id="o",
+                variants={"m.other": video},
+                presented={"m.other": video.qos},
+                cost=dollars(1),
+            )
+
+    def test_qos_satisfies_partial_bound(self):
+        offer = make_offer()
+        assert offer.qos_satisfies(MMProfile(video=LOW))  # audio unconstrained
+        assert not offer.qos_satisfies(
+            MMProfile(video=VideoQoS(color=ColorMode.SUPER_COLOR,
+                                     frame_rate=25, resolution=720))
+        )
+
+    def test_qos_violations_keyed_by_monomedia(self):
+        offer = make_offer(video_qos=LOW)
+        violations = offer.qos_violations(MMProfile(video=TV))
+        assert set(violations) == {"m.video"}
+        assert "color" in violations["m.video"]
+
+    def test_cost_within(self):
+        offer = make_offer(cost=4.0)
+        assert offer.cost_within(dollars(4))
+        assert not offer.cost_within(dollars(3.99))
+
+
+class TestDeriveUserOffer:
+    def test_single_per_medium(self):
+        user_offer = derive_user_offer(make_offer(cost=2.5))
+        assert user_offer.video == TV
+        assert user_offer.cost == dollars(2.5)
+        assert user_offer.audio is not None
+
+    def test_multiple_same_medium_takes_worst(self):
+        main = video_variant(mid="m.main", qos=TV)
+        inset = video_variant(mid="m.inset", name="v9", qos=LOW)
+        offer = SystemOffer(
+            offer_id="o",
+            variants={"m.main": main, "m.inset": inset},
+            presented={"m.main": main.qos, "m.inset": inset.qos},
+            cost=dollars(1),
+        )
+        user_offer = derive_user_offer(offer)
+        assert user_offer.video == LOW
+
+    def test_language_conflict_merges_to_none(self):
+        english = audio_variant(mid="m.a1")
+        french = audio_variant(mid="m.a2", language=Language.FRENCH)
+        offer = SystemOffer(
+            offer_id="o",
+            variants={"m.a1": english, "m.a2": french},
+            presented={"m.a1": english.qos, "m.a2": french.qos},
+            cost=dollars(1),
+        )
+        assert derive_user_offer(offer).audio.language is Language.NONE

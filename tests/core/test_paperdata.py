@@ -1,0 +1,86 @@
+"""Sanity of the encoded §5 worked-example data itself."""
+
+import pytest
+
+from repro.documents.media import ColorMode, TV_RESOLUTION
+from repro.paperdata import (
+    EXPECTED_OIF_SETTING_1,
+    EXPECTED_ORDER_SETTING_1,
+    EXPECTED_SNS,
+    MONOMEDIA_ID,
+    importance_setting_1,
+    importance_setting_2,
+    importance_setting_3,
+    section_5_offers,
+    section_521_profile,
+)
+from repro.util.units import dollars
+
+
+class TestOffersData:
+    def test_four_offers_with_paper_costs(self):
+        offers = {o.offer_id: o for o in section_5_offers()}
+        assert set(offers) == {"offer1", "offer2", "offer3", "offer4"}
+        assert offers["offer1"].cost == dollars(2.5)
+        assert offers["offer2"].cost == dollars(4)
+        assert offers["offer3"].cost == dollars(3)
+        assert offers["offer4"].cost == dollars(5)
+
+    def test_qualities_match_paper(self):
+        offers = {o.offer_id: o for o in section_5_offers()}
+        q1 = offers["offer1"].presented[MONOMEDIA_ID]
+        assert q1.color is ColorMode.BLACK_AND_WHITE and q1.frame_rate == 25
+        q2 = offers["offer2"].presented[MONOMEDIA_ID]
+        assert q2.color is ColorMode.COLOR and q2.frame_rate == 15
+        assert all(
+            o.presented[MONOMEDIA_ID].resolution == TV_RESOLUTION
+            for o in offers.values()
+        )
+
+    def test_offers_fresh_each_call(self):
+        a = section_5_offers()
+        b = section_5_offers()
+        assert a is not b and a[0] is not b[0]
+
+
+class TestProfileData:
+    def test_max_cost_is_four_dollars(self):
+        assert section_521_profile().max_cost == dollars(4)
+
+    def test_desired_equals_worst(self):
+        profile = section_521_profile()
+        assert profile.desired.video == profile.worst.video
+
+
+class TestImportanceSettings:
+    def test_setting1_paper_values(self):
+        importance = importance_setting_1()
+        assert importance.color[ColorMode.COLOR] == 9.0
+        assert importance.color[ColorMode.GREY] == 6.0
+        assert importance.color[ColorMode.BLACK_AND_WHITE] == 2.0
+        assert importance.frame_rate.value(25) == 9.0
+        assert importance.frame_rate.value(15) == 5.0
+        assert importance.resolution.value(TV_RESOLUTION) == 9.0
+        assert importance.cost_per_dollar == 4.0
+
+    def test_setting2_zero_cost_weight(self):
+        assert importance_setting_2().cost_per_dollar == 0.0
+
+    def test_setting3_zero_qos_importance(self):
+        importance = importance_setting_3()
+        offers = section_5_offers()
+        for offer in offers:
+            qos = offer.presented[MONOMEDIA_ID]
+            assert importance.qos_importance(qos) == 0.0
+
+    def test_expected_tables_consistent(self):
+        # The encoded expectations must be mutually consistent with the
+        # encoded inputs (guards against typos when editing paperdata).
+        importance = importance_setting_1()
+        for offer in section_5_offers():
+            oif = importance.overall_importance(
+                list(offer.qos_points()), offer.cost
+            )
+            assert oif == pytest.approx(EXPECTED_OIF_SETTING_1[offer.offer_id])
+        assert set(EXPECTED_SNS) == {o.offer_id for o in section_5_offers()}
+        assert set(EXPECTED_ORDER_SETTING_1) == set(EXPECTED_SNS)

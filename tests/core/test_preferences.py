@@ -1,0 +1,202 @@
+"""Server preference and security extensions (paper §8 conclusion)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.classification import apply_offer_bonus, classify_offers
+from repro.core.importance import default_importance
+from repro.core.negotiation import QoSManager
+from repro.core.preferences import (
+    SecurityLevel,
+    ServerAttributes,
+    ServerDirectory,
+    UserPreferences,
+)
+from repro.core.status import NegotiationStatus
+from repro.paperdata import section_5_offers, section_521_profile
+from repro.util.errors import NegotiationError, ProfileError
+
+
+class TestSecurityLevel:
+    def test_ordering(self):
+        assert SecurityLevel.PUBLIC < SecurityLevel.PROTECTED < SecurityLevel.CONFIDENTIAL
+
+    def test_parse(self):
+        assert SecurityLevel.parse("protected") is SecurityLevel.PROTECTED
+        assert SecurityLevel.parse(2) is SecurityLevel.CONFIDENTIAL
+        with pytest.raises(ProfileError):
+            SecurityLevel.parse("ultra")
+
+
+class TestServerDirectory:
+    def test_unknown_servers_default_public(self):
+        directory = ServerDirectory()
+        assert directory.security_of("anything") is SecurityLevel.PUBLIC
+
+    def test_register_and_lookup(self):
+        directory = ServerDirectory()
+        directory.register(
+            "server-a", ServerAttributes(security=SecurityLevel.CONFIDENTIAL)
+        )
+        assert directory.security_of("server-a") is SecurityLevel.CONFIDENTIAL
+        assert "server-a" in directory
+
+
+class TestUserPreferences:
+    def test_trivial(self):
+        assert UserPreferences().is_trivial
+        assert not UserPreferences(server_preference={"s": 1.0}).is_trivial
+        assert not UserPreferences(min_security="protected").is_trivial
+
+    def test_variant_filter(self):
+        directory = ServerDirectory(
+            {"server-a": ServerAttributes(security=SecurityLevel.PROTECTED)}
+        )
+        prefs = UserPreferences(min_security=SecurityLevel.PROTECTED)
+        admissible = prefs.variant_filter(directory)
+        offers = section_5_offers()  # all variants on server-a
+        variant = next(iter(offers[0].variants.values()))
+        assert admissible(variant)
+        directory.register(
+            "server-a", ServerAttributes(security=SecurityLevel.PUBLIC)
+        )
+        assert not admissible(variant)
+
+    def test_offer_bonus_sums_variants(self):
+        prefs = UserPreferences(server_preference={"server-a": 2.5})
+        offer = section_5_offers()[0]
+        assert prefs.offer_bonus(offer) == 2.5
+
+
+class TestApplyOfferBonus:
+    def test_zero_bonus_is_identity(self):
+        profile = section_521_profile()
+        ranked = classify_offers(
+            section_5_offers(), profile, default_importance()
+        )
+        again = apply_offer_bonus(ranked, lambda offer: 0.0)
+        assert [c.offer.offer_id for c in again] == [
+            c.offer.offer_id for c in ranked
+        ]
+
+    def test_bonus_reorders_within_sns_class(self):
+        profile = section_521_profile()
+        importance = default_importance()
+        ranked = classify_offers(section_5_offers(), profile, importance)
+        constraints = [c for c in ranked if int(c.sns) == 2]
+        worst = constraints[-1].offer.offer_id
+        boosted = apply_offer_bonus(
+            ranked,
+            lambda offer: 1000.0 if offer.offer_id == worst else 0.0,
+        )
+        boosted_constraints = [c for c in boosted if int(c.sns) == 2]
+        assert boosted_constraints[0].offer.offer_id == worst
+
+    def test_bonus_does_not_cross_sns_boundary(self):
+        profile = section_521_profile()
+        ranked = classify_offers(
+            section_5_offers(), profile, default_importance()
+        )
+        # offer4 is the only ACCEPTABLE; a huge bonus on a CONSTRAINT
+        # offer must not put it above offer4 under SNS_PRIMARY.
+        boosted = apply_offer_bonus(
+            ranked,
+            lambda offer: 10_000.0 if offer.offer_id == "offer1" else 0.0,
+        )
+        assert boosted[0].offer.offer_id == "offer4"
+
+
+class TestNegotiationIntegration:
+    def test_preferred_server_wins_ties(
+        self, database, transport, servers, clock, document, balanced_profile, client
+    ):
+        from repro.core.profile_manager import make_profile
+        from repro.documents.media import ColorMode
+        from repro.documents.quality import VideoQoS
+
+        manager = QoSManager(
+            database=database, transport=transport, servers=servers,
+            clock=clock, directory=ServerDirectory(),
+        )
+        # A profile whose desired level both servers can meet (15 f/s is
+        # enough), so DESIRABLE offers exist on server-a and server-b and
+        # the preference bonus decides between them.
+        base = make_profile(
+            "pref",
+            desired_video=VideoQoS(color=ColorMode.COLOR, frame_rate=15,
+                                   resolution=720),
+            worst_video=VideoQoS(color=ColorMode.GREY, frame_rate=10,
+                                 resolution=360),
+            max_cost=10.0,
+        )
+        prefs = UserPreferences(
+            server_preference={"server-b": 50.0, "server-a": -50.0}
+        )
+        profile = replace(base, preferences=prefs)
+        result = manager.negotiate(document.document_id, profile, client)
+        assert result.succeeded
+        video_variant = result.chosen.offer.variant_for(
+            f"{document.document_id}.video"
+        )
+        assert video_variant.server_id == "server-b"
+        # Without the preference the higher-quality server-a variant wins.
+        result.commitment.release()
+        plain = manager.negotiate(document.document_id, base, client)
+        assert plain.chosen.offer.variant_for(
+            f"{document.document_id}.video"
+        ).server_id == "server-a"
+        plain.commitment.release()
+
+    def test_security_floor_filters_servers(
+        self, database, transport, servers, clock, document, balanced_profile, client
+    ):
+        directory = ServerDirectory(
+            {
+                "server-a": ServerAttributes(security=SecurityLevel.CONFIDENTIAL),
+                "server-b": ServerAttributes(security=SecurityLevel.PUBLIC),
+            }
+        )
+        manager = QoSManager(
+            database=database, transport=transport, servers=servers,
+            clock=clock, directory=directory,
+        )
+        prefs = UserPreferences(min_security=SecurityLevel.CONFIDENTIAL)
+        profile = replace(balanced_profile, preferences=prefs)
+        result = manager.negotiate(document.document_id, profile, client)
+        assert result.status in (
+            NegotiationStatus.SUCCEEDED, NegotiationStatus.FAILED_WITH_OFFER
+        )
+        assert result.chosen.offer.servers_used() == {"server-a"}
+        result.commitment.release()
+
+    def test_security_floor_can_empty_the_space(
+        self, database, transport, servers, clock, document, balanced_profile, client
+    ):
+        directory = ServerDirectory()  # everything PUBLIC
+        manager = QoSManager(
+            database=database, transport=transport, servers=servers,
+            clock=clock, directory=directory,
+        )
+        prefs = UserPreferences(min_security=SecurityLevel.CONFIDENTIAL)
+        profile = replace(balanced_profile, preferences=prefs)
+        result = manager.negotiate(document.document_id, profile, client)
+        assert result.status is NegotiationStatus.FAILED_WITHOUT_OFFER
+
+    def test_invalid_preferences_rejected(
+        self, manager, document, balanced_profile, client
+    ):
+        profile = replace(balanced_profile, preferences="nonsense")
+        with pytest.raises(NegotiationError):
+            manager.negotiate(document.document_id, profile, client)
+
+    def test_no_directory_ignores_security(
+        self, manager, document, balanced_profile, client
+    ):
+        prefs = UserPreferences(min_security=SecurityLevel.CONFIDENTIAL)
+        profile = replace(balanced_profile, preferences=prefs)
+        # Without a directory the manager cannot evaluate security; the
+        # preference bonus still applies but no variant is filtered.
+        result = manager.negotiate(document.document_id, profile, client)
+        assert result.succeeded
+        result.commitment.release()

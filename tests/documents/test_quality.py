@@ -1,0 +1,119 @@
+"""Per-medium QoS points and the satisfies ordering (paper §5 comparison)."""
+
+import pytest
+
+from repro.documents.media import AudioGrade, ColorMode, Language, Medium
+from repro.documents.quality import (
+    AudioQoS,
+    GraphicQoS,
+    ImageQoS,
+    TextQoS,
+    VideoQoS,
+    qos_class_for,
+)
+from repro.util.errors import ValidationError
+
+TV = VideoQoS(color=ColorMode.COLOR, frame_rate=25, resolution=720)
+
+
+class TestVideoQoS:
+    def test_satisfies_equal(self):
+        assert TV.satisfies(TV)
+
+    def test_better_color_satisfies(self):
+        better = VideoQoS(color=ColorMode.SUPER_COLOR, frame_rate=25, resolution=720)
+        assert better.satisfies(TV)
+        assert not TV.satisfies(better)
+
+    def test_lower_frame_rate_fails(self):
+        slower = VideoQoS(color=ColorMode.COLOR, frame_rate=15, resolution=720)
+        assert not slower.satisfies(TV)
+
+    def test_violated_parameters_named(self):
+        offer = VideoQoS(color=ColorMode.GREY, frame_rate=15, resolution=720)
+        assert set(offer.violated_parameters(TV)) == {"color", "frame_rate"}
+
+    def test_parses_loose_inputs(self):
+        qos = VideoQoS(color="grey", frame_rate=10, resolution=360)
+        assert qos.color is ColorMode.GREY
+
+    def test_range_validation(self):
+        with pytest.raises(ValidationError):
+            VideoQoS(color=ColorMode.COLOR, frame_rate=0, resolution=720)
+        with pytest.raises(ValidationError):
+            VideoQoS(color=ColorMode.COLOR, frame_rate=25, resolution=5000)
+
+    def test_cross_type_comparison_rejected(self):
+        with pytest.raises(ValidationError):
+            TV.satisfies(TextQoS(language=Language.ENGLISH))
+
+    def test_str_matches_paper_style(self):
+        assert str(TV) == "(color, 25 frames/s, 720 px)"
+
+    def test_as_dict(self):
+        assert TV.as_dict() == {
+            "color": "color", "frame_rate": 25, "resolution": 720,
+        }
+
+
+class TestAudioQoS:
+    def test_grade_ordering(self):
+        cd = AudioQoS(grade=AudioGrade.CD, language=Language.ENGLISH)
+        phone = AudioQoS(grade=AudioGrade.TELEPHONE, language=Language.ENGLISH)
+        assert cd.satisfies(phone)
+        assert not phone.satisfies(cd)
+
+    def test_language_is_equality_not_order(self):
+        english = AudioQoS(grade=AudioGrade.CD, language=Language.ENGLISH)
+        french = AudioQoS(grade=AudioGrade.CD, language=Language.FRENCH)
+        assert not english.satisfies(french)
+        assert not french.satisfies(english)
+
+    def test_language_none_accepts_anything(self):
+        anything = AudioQoS(grade=AudioGrade.TELEPHONE, language=Language.NONE)
+        english = AudioQoS(grade=AudioGrade.CD, language=Language.ENGLISH)
+        assert english.satisfies(anything)
+
+    def test_sample_rate_passthrough(self):
+        assert AudioQoS(grade=AudioGrade.CD).sample_rate_hz == 44_100
+
+
+class TestDiscreteQoS:
+    def test_image_ordering(self):
+        hi = ImageQoS(color=ColorMode.COLOR, resolution=720)
+        lo = ImageQoS(color=ColorMode.GREY, resolution=360)
+        assert hi.satisfies(lo)
+        assert not lo.satisfies(hi)
+
+    def test_text_language(self):
+        fr = TextQoS(language=Language.FRENCH)
+        assert fr.satisfies(TextQoS(language=Language.FRENCH))
+        assert not fr.satisfies(TextQoS(language=Language.ENGLISH))
+
+    def test_graphic(self):
+        g = GraphicQoS(color=ColorMode.COLOR, resolution=500)
+        assert g.medium is Medium.GRAPHIC
+
+
+class TestQosClassFor:
+    @pytest.mark.parametrize(
+        "medium,cls",
+        [
+            ("video", VideoQoS),
+            ("audio", AudioQoS),
+            ("image", ImageQoS),
+            ("text", TextQoS),
+            ("graphic", GraphicQoS),
+        ],
+    )
+    def test_mapping(self, medium, cls):
+        assert qos_class_for(medium) is cls
+
+
+class TestTransitivity:
+    def test_satisfies_is_transitive_for_ordered_scales(self):
+        a = VideoQoS(color=ColorMode.SUPER_COLOR, frame_rate=30, resolution=1080)
+        b = VideoQoS(color=ColorMode.COLOR, frame_rate=25, resolution=720)
+        c = VideoQoS(color=ColorMode.GREY, frame_rate=10, resolution=360)
+        assert a.satisfies(b) and b.satisfies(c)
+        assert a.satisfies(c)

@@ -1,0 +1,90 @@
+"""Stress: a full adaptive service period with random congestion.
+
+Everything at once — Poisson arrivals, Zipf popularity, mixed profiles,
+monitoring, automatic adaptation, random link/server congestion
+episodes — then the books must balance exactly.
+"""
+
+import pytest
+
+from repro.session.violations import RandomInjector
+from repro.sim import (
+    RunConfig,
+    ScenarioSpec,
+    SmartNegotiator,
+    WorkloadSpec,
+    build_scenario,
+    generate_requests,
+    run_workload,
+)
+
+SEED = 1996
+
+
+@pytest.fixture(scope="module")
+def stats_and_scenario():
+    scenario = build_scenario(
+        ScenarioSpec(server_count=3, client_count=3, document_count=6)
+    )
+    requests = generate_requests(
+        WorkloadSpec(arrival_rate_per_s=0.12, horizon_s=1800.0),
+        scenario.document_ids(),
+        list(scenario.clients),
+        rng=SEED,
+    )
+    injector = RandomInjector(
+        scenario.topology,
+        scenario.servers,
+        rate_per_s=0.01,
+        horizon_s=1800.0,
+        mean_duration_s=25.0,
+        severity_range=(0.9, 1.0),
+        rng=SEED,
+    )
+    stats = run_workload(
+        scenario,
+        SmartNegotiator(scenario.manager),
+        requests,
+        config=RunConfig(adaptation_enabled=True),
+        injector=injector,
+    )
+    return stats, scenario, injector, len(requests)
+
+
+class TestStressDay:
+    def test_every_request_accounted(self, stats_and_scenario):
+        stats, _, _, offered = stats_and_scenario
+        assert stats.statuses.total == offered
+        assert (
+            stats.completed_sessions + stats.aborted_sessions
+            == stats.statuses.served
+        )
+
+    def test_served_sessions_exist(self, stats_and_scenario):
+        stats, _, _, _ = stats_and_scenario
+        assert stats.completed_sessions > 20
+
+    def test_congestion_actually_happened(self, stats_and_scenario):
+        _, _, injector, _ = stats_and_scenario
+        assert len(injector.episodes) > 3
+
+    def test_adaptations_occurred(self, stats_and_scenario):
+        stats, _, _, _ = stats_and_scenario
+        # With >3 severe episodes across 30 minutes of sessions, at
+        # least some session adapted or got degraded.
+        assert (
+            stats.adaptations + stats.failed_adaptations
+            + int(stats.total_degraded_s > 0)
+        ) > 0
+
+    def test_books_balance_at_end(self, stats_and_scenario):
+        _, scenario, _, _ = stats_and_scenario
+        assert scenario.transport.flow_count == 0
+        assert scenario.topology.total_reserved_bps() == pytest.approx(0.0)
+        assert all(
+            server.stream_count == 0 for server in scenario.servers.values()
+        )
+
+    def test_revenue_consistent_with_served(self, stats_and_scenario):
+        stats, _, _, _ = stats_and_scenario
+        assert (stats.revenue.cents > 0) == (stats.statuses.served > 0)

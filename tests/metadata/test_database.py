@@ -1,0 +1,138 @@
+"""Metadata database: ingestion, reassembly, queries."""
+
+import pytest
+
+from repro.documents.builder import make_news_article
+from repro.documents.media import Codecs, ColorMode
+from repro.documents.monomedia import BlockStats, Variant
+from repro.documents.quality import VideoQoS
+from repro.metadata.database import MetadataDatabase
+from repro.util.errors import DuplicateKeyError, NotFoundError
+
+
+@pytest.fixture
+def document():
+    return make_news_article("doc.db")
+
+
+@pytest.fixture
+def db(document):
+    database = MetadataDatabase()
+    database.insert_document(document)
+    return database
+
+
+class TestIngestion:
+    def test_counts(self, db, document):
+        assert db.document_count == 1
+        assert db.monomedia_count == 4
+        assert db.variant_count == 16
+
+    def test_duplicate_document_rejected(self, db, document):
+        with pytest.raises(DuplicateKeyError):
+            db.insert_document(document)
+
+    def test_insert_catalog(self, document):
+        from repro.documents.catalog import DocumentCatalog
+
+        db = MetadataDatabase()
+        db.insert_catalog(DocumentCatalog([document]))
+        assert db.document_count == 1
+
+
+class TestReassembly:
+    def test_document_roundtrip(self, db, document):
+        assert db.get_document(document.document_id) == document
+
+    def test_monomedia_roundtrip(self, db, document):
+        component = document.components[0]
+        assert db.get_monomedia(component.monomedia_id) == component
+
+    def test_variant_roundtrip(self, db, document):
+        variant = document.components[0].variants[0]
+        assert db.get_variant(variant.variant_id) == variant
+
+    def test_missing_lookups(self, db):
+        with pytest.raises(NotFoundError):
+            db.get_document("ghost")
+        with pytest.raises(NotFoundError):
+            db.get_monomedia("ghost")
+        with pytest.raises(NotFoundError):
+            db.get_variant("ghost")
+
+    def test_to_catalog(self, db, document):
+        catalog = db.to_catalog()
+        assert catalog.get(document.document_id) == document
+
+
+class TestQueries:
+    def test_variants_for_monomedia(self, db, document):
+        mid = document.components[0].monomedia_id
+        variants = db.variants_for_monomedia(mid)
+        assert len(variants) == 8
+        assert all(v.monomedia_id == mid for v in variants)
+
+    def test_variants_on_server(self, db):
+        on_a = db.variants_on_server("server-a")
+        assert on_a and all(v.server_id == "server-a" for v in on_a)
+
+    def test_select_variants(self, db):
+        videos = db.select_variants(lambda v: v.medium.value == "video")
+        assert len(videos) == 8
+
+    def test_server_ids(self, db):
+        assert db.server_ids() == {"server-a", "server-b"}
+
+
+class TestMutation:
+    def _extra_variant(self, document):
+        component = document.components[0]
+        template = component.variants[0]
+        return Variant(
+            variant_id="extra.v",
+            monomedia_id=component.monomedia_id,
+            codec=Codecs.MPEG1,
+            qos=VideoQoS(color=ColorMode.GREY, frame_rate=5, resolution=180),
+            size_bits=1e7,
+            block_stats=BlockStats(1e4, 1e4, 5.0),
+            server_id="server-c",
+            duration_s=template.duration_s,
+        )
+
+    def test_add_variant(self, db, document):
+        db.add_variant(self._extra_variant(document))
+        assert db.variant_count == 17
+        assert "server-c" in db.server_ids()
+
+    def test_add_variant_unknown_monomedia(self, db, document):
+        variant = self._extra_variant(document)
+        bad = Variant(
+            variant_id=variant.variant_id,
+            monomedia_id="ghost",
+            codec=variant.codec,
+            qos=variant.qos,
+            size_bits=variant.size_bits,
+            block_stats=variant.block_stats,
+            server_id=variant.server_id,
+            duration_s=variant.duration_s,
+        )
+        with pytest.raises(NotFoundError):
+            db.add_variant(bad)
+
+    def test_remove_variant(self, db, document):
+        victim = document.components[0].variants[0]
+        db.remove_variant(victim.variant_id)
+        assert db.variant_count == 15
+        with pytest.raises(NotFoundError):
+            db.get_variant(victim.variant_id)
+
+    def test_remove_document_cascades(self, db, document):
+        db.remove_document(document.document_id)
+        assert db.document_count == 0
+        assert db.monomedia_count == 0
+        assert db.variant_count == 0
+
+    def test_reassembly_after_add(self, db, document):
+        db.add_variant(self._extra_variant(document))
+        rebuilt = db.get_document(document.document_id)
+        assert len(rebuilt.components[0].variants) == 9

@@ -1,0 +1,81 @@
+"""Path QoS accumulation, flow specs, and the §6 presets."""
+
+import pytest
+
+from repro.network.qosparams import (
+    STEINMETZ_PRESETS,
+    FlowSpec,
+    PathQoS,
+    preset_for,
+)
+from repro.util.errors import ValidationError
+
+
+class TestPathQoS:
+    def test_identity_extension(self):
+        qos = PathQoS(0.01, 0.002, 0.001)
+        extended = PathQoS.identity().extend(qos)
+        assert extended.delay_s == pytest.approx(qos.delay_s)
+        assert extended.jitter_s == pytest.approx(qos.jitter_s)
+        assert extended.loss_rate == pytest.approx(qos.loss_rate)
+
+    def test_delays_add(self):
+        a = PathQoS(0.01, 0.001, 0.0)
+        b = PathQoS(0.02, 0.003, 0.0)
+        combined = a.extend(b)
+        assert combined.delay_s == pytest.approx(0.03)
+        assert combined.jitter_s == pytest.approx(0.004)
+
+    def test_loss_compounds(self):
+        a = PathQoS(0, 0, 0.1)
+        b = PathQoS(0, 0, 0.1)
+        assert a.extend(b).loss_rate == pytest.approx(0.19)
+
+    def test_satisfies_smaller_is_better(self):
+        good = PathQoS(0.01, 0.001, 0.001)
+        bound = PathQoS(0.25, 0.01, 0.003)
+        assert good.satisfies(bound)
+        assert not bound.satisfies(good)
+
+    def test_loss_must_be_fraction(self):
+        with pytest.raises(ValidationError):
+            PathQoS(0, 0, 1.5)
+
+
+class TestFlowSpec:
+    def test_avg_cannot_exceed_max(self):
+        with pytest.raises(ValidationError):
+            FlowSpec(
+                max_bit_rate=1e6, avg_bit_rate=2e6,
+                max_delay_s=0.1, max_jitter_s=0.01, max_loss_rate=0.01,
+            )
+
+    def test_burstiness(self):
+        spec = FlowSpec(3e6, 1e6, 0.25, 0.01, 0.003)
+        assert spec.burstiness == pytest.approx(3.0)
+
+    def test_qos_bound(self):
+        spec = FlowSpec(3e6, 1e6, 0.25, 0.01, 0.003)
+        assert spec.qos_bound == PathQoS(0.25, 0.01, 0.003)
+
+
+class TestPresets:
+    def test_paper_video_values(self):
+        # §6: "the following values are considered for the video:
+        # jitter = 10 ms, and loss rate 0.003".
+        video = preset_for("video")
+        assert video.jitter_s == pytest.approx(0.010)
+        assert video.loss_rate == pytest.approx(0.003)
+
+    def test_all_media_covered(self):
+        for medium in ("video", "audio", "image", "text", "graphic"):
+            assert preset_for(medium) is STEINMETZ_PRESETS[medium]
+
+    def test_medium_enum_accepted(self):
+        from repro.documents.media import Medium
+
+        assert preset_for(Medium.AUDIO) is STEINMETZ_PRESETS["audio"]
+
+    def test_unknown_medium_rejected(self):
+        with pytest.raises(ValidationError):
+            preset_for("smellovision")

@@ -1,0 +1,59 @@
+"""Shared hypothesis strategies for the property suites."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.documents.media import (
+    AudioGrade,
+    Codecs,
+    ColorMode,
+    Language,
+)
+from repro.documents.monomedia import BlockStats, Variant
+from repro.documents.quality import AudioQoS, ImageQoS, TextQoS, VideoQoS
+from repro.util.units import Money
+
+color_modes = st.sampled_from(list(ColorMode))
+audio_grades = st.sampled_from(list(AudioGrade))
+languages = st.sampled_from(list(Language))
+frame_rates = st.integers(min_value=1, max_value=60)
+resolutions = st.integers(min_value=10, max_value=1920)
+
+video_qos = st.builds(
+    VideoQoS, color=color_modes, frame_rate=frame_rates, resolution=resolutions
+)
+audio_qos = st.builds(AudioQoS, grade=audio_grades, language=languages)
+image_qos = st.builds(ImageQoS, color=color_modes, resolution=resolutions)
+text_qos = st.builds(TextQoS, language=languages)
+any_qos = st.one_of(video_qos, audio_qos, image_qos, text_qos)
+
+money = st.integers(min_value=0, max_value=100_000).map(Money)
+signed_money = st.integers(min_value=-100_000, max_value=100_000).map(Money)
+
+
+@st.composite
+def block_stats(draw, continuous: bool = True):
+    avg = draw(st.floats(min_value=1e3, max_value=1e6, allow_nan=False))
+    burst = draw(st.floats(min_value=1.0, max_value=5.0, allow_nan=False))
+    rate = draw(st.floats(min_value=1.0, max_value=60.0)) if continuous else 0.0
+    return BlockStats(
+        max_block_bits=avg * burst, avg_block_bits=avg, blocks_per_second=rate
+    )
+
+
+@st.composite
+def video_variants(draw, monomedia_id: str = "m.v", index: int | None = None):
+    qos = draw(video_qos)
+    stats = draw(block_stats())
+    name = draw(st.integers(min_value=0, max_value=10**6)) if index is None else index
+    return Variant(
+        variant_id=f"{monomedia_id}.v{name}",
+        monomedia_id=monomedia_id,
+        codec=draw(st.sampled_from([Codecs.MPEG1, Codecs.MPEG2])),
+        qos=qos,
+        size_bits=draw(st.floats(min_value=1e6, max_value=1e10)),
+        block_stats=stats,
+        server_id=draw(st.sampled_from(["server-a", "server-b", "server-c"])),
+        duration_s=draw(st.floats(min_value=1.0, max_value=600.0)),
+    )

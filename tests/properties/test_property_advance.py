@@ -1,0 +1,94 @@
+"""Advance-booking conservation under random book/claim/cancel scripts."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profile_manager import standard_profiles
+from repro.reservations.advance import AdvanceBookingPlan, AdvanceNegotiator
+from repro.sim.scenario import ScenarioSpec, build_scenario
+
+PROFILES = standard_profiles()
+
+scripts = st.lists(
+    st.tuples(
+        st.sampled_from(["book", "cancel", "claim"]),
+        st.integers(min_value=0, max_value=7),
+    ),
+    max_size=25,
+)
+
+
+class TestAdvanceConservation:
+    @given(scripts)
+    @settings(max_examples=20, deadline=None)
+    def test_ledgers_balance(self, script):
+        scenario = build_scenario(
+            ScenarioSpec(server_count=2, client_count=1, document_count=2)
+        )
+        advance = AdvanceNegotiator(scenario.manager)
+        client = scenario.any_client()
+        plans: list[AdvanceBookingPlan] = []
+        live = []
+
+        for action, arg in script:
+            if action == "book":
+                profile = PROFILES[arg % len(PROFILES)]
+                plan = advance.negotiate_advance(
+                    scenario.document_ids()[arg % 2],
+                    profile,
+                    client,
+                    start_s=float((arg % 4) * 500),
+                )
+                if isinstance(plan, AdvanceBookingPlan):
+                    plans.append(plan)
+            elif action == "cancel" and plans:
+                advance.cancel(plans.pop(arg % len(plans)))
+            elif action == "claim" and plans:
+                plan = plans.pop(arg % len(plans))
+                profile = PROFILES[arg % len(PROFILES)]
+                result = advance.claim(plan, profile, client)
+                if result.commitment is not None:
+                    live.append(result)
+
+            # Invariant: total booked amount equals the active plans'
+            # bookings, no more.
+            total_bookings = sum(
+                len(ledger) for ledger in advance.planner.ledgers()
+            )
+            expected = sum(len(plan.bookings) for plan in plans)
+            assert total_bookings == expected
+
+        # Teardown: everything returns to zero.
+        for plan in plans:
+            advance.cancel(plan)
+        for result in live:
+            result.commitment.release()
+        assert all(len(l) == 0 for l in advance.planner.ledgers())
+        assert scenario.transport.flow_count == 0
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=15, deadline=None)
+    def test_booked_never_exceeds_capacity(self, seed):
+        scenario = build_scenario(
+            ScenarioSpec(server_count=1, client_count=1, document_count=1)
+        )
+        advance = AdvanceNegotiator(scenario.manager)
+        client = scenario.any_client()
+        profile = PROFILES[seed % len(PROFILES)]
+        window = float((seed % 3) * 1000)
+        plans = []
+        while True:
+            plan = advance.negotiate_advance(
+                scenario.document_ids()[0], profile, client, start_s=window
+            )
+            if not isinstance(plan, AdvanceBookingPlan):
+                break
+            plans.append(plan)
+            assert len(plans) < 200
+        for ledger in advance.planner.ledgers():
+            assert (
+                ledger.peak_usage(window, window + 1000)
+                <= ledger.capacity + 1e-6
+            )
+        for plan in plans:
+            advance.cancel(plan)

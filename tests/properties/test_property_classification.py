@@ -1,0 +1,174 @@
+"""Property tests on the §5 classification machinery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classification import (
+    ClassificationPolicy,
+    classify_offer,
+    classify_offers,
+    compute_sns,
+)
+from repro.core.importance import default_importance
+from repro.core.offers import SystemOffer
+from repro.core.profiles import MMProfile, UserProfile
+from repro.core.status import StaticNegotiationStatus
+from repro.documents.media import ColorMode
+from repro.documents.quality import VideoQoS
+from repro.util.units import Money
+
+from .strategies import money, video_qos
+
+
+def _offer(offer_id: str, qos: VideoQoS, cost: Money) -> SystemOffer:
+    from repro.documents.media import Codecs
+    from repro.documents.monomedia import BlockStats, Variant
+
+    variant = Variant(
+        variant_id=f"{offer_id}.v",
+        monomedia_id="m",
+        codec=Codecs.MPEG1,
+        qos=qos,
+        size_bits=1e6,
+        block_stats=BlockStats(2e5, 1e5, float(qos.frame_rate)),
+        server_id="server-a",
+        duration_s=60.0,
+    )
+    return SystemOffer(
+        offer_id=offer_id,
+        variants={"m": variant},
+        presented={"m": qos},
+        cost=cost,
+    )
+
+
+def _profile(desired: VideoQoS, worst: VideoQoS, max_cost: Money) -> UserProfile:
+    return UserProfile(
+        name="prop",
+        desired=MMProfile(video=desired, cost=max_cost),
+        worst=MMProfile(video=worst, cost=max_cost),
+        importance=default_importance(),
+    )
+
+
+@st.composite
+def profiles(draw):
+    worst = draw(video_qos)
+    # Build a desired point dominating the worst point.
+    desired = VideoQoS(
+        color=ColorMode(
+            draw(st.integers(min_value=int(worst.color), max_value=3))
+        ),
+        frame_rate=draw(
+            st.integers(min_value=worst.frame_rate, max_value=60)
+        ),
+        resolution=draw(
+            st.integers(min_value=worst.resolution, max_value=1920)
+        ),
+    )
+    return _profile(desired, worst, draw(money))
+
+
+@st.composite
+def offer_lists(draw):
+    count = draw(st.integers(min_value=1, max_value=8))
+    return [
+        _offer(f"offer-{i}", draw(video_qos), draw(money))
+        for i in range(count)
+    ]
+
+
+class TestSnsProperties:
+    @given(profiles(), video_qos, money)
+    def test_sns_total_function(self, profile, qos, cost):
+        offer = _offer("o", qos, cost)
+        assert compute_sns(offer, profile) in StaticNegotiationStatus
+
+    @given(profiles(), video_qos, money)
+    def test_desirable_implies_acceptable_qos(self, profile, qos, cost):
+        offer = _offer("o", qos, cost)
+        if compute_sns(offer, profile) is StaticNegotiationStatus.DESIRABLE:
+            # The same QoS with any cost is at worst ACCEPTABLE.
+            pricey = _offer("o2", qos, Money(10**9))
+            assert compute_sns(pricey, profile) in (
+                StaticNegotiationStatus.DESIRABLE,  # unreachable: cost
+                StaticNegotiationStatus.ACCEPTABLE,
+            )
+
+    @given(profiles(), video_qos, money)
+    def test_improving_color_never_worsens_sns(self, profile, qos, cost):
+        offer = _offer("o", qos, cost)
+        before = compute_sns(offer, profile)
+        if qos.color is ColorMode.SUPER_COLOR:
+            return
+        better = VideoQoS(
+            color=ColorMode(int(qos.color) + 1),
+            frame_rate=qos.frame_rate,
+            resolution=qos.resolution,
+        )
+        after = compute_sns(_offer("o2", better, cost), profile)
+        assert int(after) <= int(before)
+
+
+class TestOrderingProperties:
+    @given(offer_lists(), profiles())
+    @settings(max_examples=50)
+    def test_sns_primary_is_sorted_by_key(self, offers, profile):
+        importance = default_importance()
+        ranked = classify_offers(offers, profile, importance)
+        keys = [(int(c.sns), -c.oif) for c in ranked]
+        assert keys == sorted(keys)
+
+    @given(offer_lists(), profiles())
+    @settings(max_examples=50)
+    def test_pure_oif_is_sorted(self, offers, profile):
+        ranked = classify_offers(
+            offers, profile, default_importance(),
+            policy=ClassificationPolicy.PURE_OIF,
+        )
+        oifs = [c.oif for c in ranked]
+        assert oifs == sorted(oifs, reverse=True)
+
+    @given(offer_lists(), profiles())
+    @settings(max_examples=50)
+    def test_classification_is_permutation(self, offers, profile):
+        ranked = classify_offers(offers, profile, default_importance())
+        assert sorted(c.offer.offer_id for c in ranked) == sorted(
+            o.offer_id for o in offers
+        )
+
+    @given(offer_lists(), profiles())
+    @settings(max_examples=50)
+    def test_cost_gated_never_promotes(self, offers, profile):
+        importance = default_importance()
+        plain = {
+            c.offer.offer_id: c.sns
+            for c in classify_offers(offers, profile, importance)
+        }
+        gated = classify_offers(
+            offers, profile, importance,
+            policy=ClassificationPolicy.COST_GATED,
+        )
+        for c in gated:
+            assert int(c.sns) >= int(plain[c.offer.offer_id])
+
+
+class TestOifProperties:
+    @given(video_qos, money, money)
+    def test_oif_decreases_with_cost(self, qos, cheap, pricey):
+        importance = default_importance()
+        if cheap > pricey:
+            cheap, pricey = pricey, cheap
+        oif_cheap = importance.overall_importance([qos], cheap)
+        oif_pricey = importance.overall_importance([qos], pricey)
+        assert oif_cheap >= oif_pricey
+
+    @given(video_qos, money)
+    def test_oif_linear_in_cost_weight(self, qos, cost):
+        base = default_importance().with_cost_per_dollar(1.0)
+        double = default_importance().with_cost_per_dollar(2.0)
+        qos_part = base.overall_importance([qos], Money.zero())
+        assert double.overall_importance([qos], cost) == pytest.approx(
+            qos_part - 2.0 * cost.amount
+        )

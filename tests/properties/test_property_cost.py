@@ -1,0 +1,98 @@
+"""Properties of the §7 cost model and Money arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost import default_cost_model
+from repro.network.qosparams import FlowSpec
+from repro.network.transport import GuaranteeType
+from repro.util.units import Money
+
+from .strategies import signed_money, video_variants
+
+rates = st.floats(min_value=1e3, max_value=150e6, allow_nan=False)
+
+
+class TestMoneyAlgebra:
+    @given(signed_money, signed_money)
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(signed_money, signed_money, signed_money)
+    def test_addition_associates(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(signed_money)
+    def test_zero_identity(self, a):
+        assert a + Money.zero() == a
+        assert a - a == Money.zero()
+
+    @given(signed_money, st.integers(min_value=0, max_value=1000))
+    def test_integer_scaling_is_repeated_addition(self, a, n):
+        total = Money.zero()
+        for _ in range(n):
+            total = total + a
+        assert a * n == total
+
+    @given(signed_money, signed_money)
+    def test_ordering_consistent_with_cents(self, a, b):
+        assert (a < b) == (a.cents < b.cents)
+
+
+class TestCostTableProperties:
+    @given(rates, rates)
+    def test_network_cost_monotone_in_rate(self, r1, r2):
+        model = default_cost_model()
+        if r1 > r2:
+            r1, r2 = r2, r1
+        assert model.network.cost_per_second(r1) <= model.network.cost_per_second(r2)
+
+    @given(rates)
+    def test_classify_covers_rate(self, rate):
+        model = default_cost_model()
+        cls = model.network.classify(rate)
+        assert rate <= cls.ceiling_bps
+
+
+class TestEquationOne:
+    @given(video_variants(), rates)
+    @settings(max_examples=50)
+    def test_guaranteed_never_cheaper_than_best_effort(self, variant, rate):
+        model = default_cost_model()
+        spec = FlowSpec(
+            max_bit_rate=max(rate, 2.0),
+            avg_bit_rate=max(rate, 2.0) / 2,
+            max_delay_s=0.25, max_jitter_s=0.02, max_loss_rate=0.05,
+        )
+        guaranteed = model.monomedia_cost(variant, spec, GuaranteeType.GUARANTEED)
+        best_effort = model.monomedia_cost(variant, spec, GuaranteeType.BEST_EFFORT)
+        assert guaranteed.total >= best_effort.total
+
+    @given(st.lists(video_variants(), min_size=1, max_size=5), signed_money)
+    @settings(max_examples=50)
+    def test_document_cost_is_sum_of_parts(self, variants, copyright_money):
+        model = default_cost_model()
+        spec = FlowSpec(2e6, 1e6, 0.25, 0.02, 0.05)
+        items = [(v, spec) for v in variants]
+        breakdown = model.document_cost(items, copyright_cost=copyright_money)
+        total = copyright_money
+        for item in breakdown.items:
+            total = total + item.network_cost + item.server_cost
+        assert breakdown.total == total
+        assert len(breakdown.items) == len(variants)
+
+    @given(video_variants())
+    @settings(max_examples=50)
+    def test_cost_scales_with_duration(self, variant):
+        from dataclasses import replace
+
+        model = default_cost_model()
+        spec = FlowSpec(2e6, 1e6, 0.25, 0.02, 0.05)
+        single = model.monomedia_cost(variant, spec)
+        doubled = model.monomedia_cost(
+            replace(variant, duration_s=variant.duration_s * 2), spec
+        )
+        assert doubled.total.cents == pytest.approx(
+            2 * single.total.cents, abs=2
+        )

@@ -1,0 +1,73 @@
+"""Interval-ledger properties: sweep-line peak equals brute force, and
+booked capacity is never exceeded at any instant."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reservations.interval import IntervalLedger
+from repro.util.errors import CapacityError
+
+windows = st.tuples(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+    st.floats(min_value=0.1, max_value=6.0, allow_nan=False),
+)
+
+
+def brute_force_peak(bookings, start, end, resolution=997):
+    """Sampled peak (dense grid plus every endpoint)."""
+    points = set(np.linspace(start, end, resolution))
+    for b in bookings:
+        for t in (b.start_s, b.end_s):
+            if start <= t < end:
+                points.add(t)
+    peak = 0.0
+    for t in sorted(points):
+        if not (start <= t < end):
+            continue
+        level = sum(b.amount for b in bookings if b.start_s <= t < b.end_s)
+        peak = max(peak, level)
+    return peak
+
+
+class TestLedgerProperties:
+    @given(st.lists(windows, max_size=25))
+    @settings(max_examples=60, deadline=None)
+    def test_peak_matches_brute_force(self, specs):
+        ledger = IntervalLedger("L", 10.0)
+        for start, length, amount in specs:
+            try:
+                ledger.book(start, start + length, amount, "h")
+            except CapacityError:
+                pass
+        peak = ledger.peak_usage(0.0, 200.0)
+        expected = brute_force_peak(ledger.bookings(), 0.0, 200.0)
+        assert abs(peak - expected) < 1e-6
+
+    @given(st.lists(windows, max_size=25))
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_never_exceeded(self, specs):
+        ledger = IntervalLedger("L", 10.0)
+        for start, length, amount in specs:
+            try:
+                ledger.book(start, start + length, amount, "h")
+            except CapacityError:
+                pass
+        for booking in ledger.bookings():
+            midpoint = (booking.start_s + booking.end_s) / 2
+            assert ledger.usage_at(midpoint) <= ledger.capacity + 1e-6
+
+    @given(st.lists(windows, min_size=1, max_size=15))
+    @settings(max_examples=40, deadline=None)
+    def test_release_restores_availability(self, specs):
+        ledger = IntervalLedger("L", 10.0)
+        taken = []
+        for start, length, amount in specs:
+            try:
+                taken.append(ledger.book(start, start + length, amount, "h"))
+            except CapacityError:
+                pass
+        for booking in taken:
+            ledger.release(booking)
+        assert ledger.available(0.0, 200.0) == ledger.capacity

@@ -1,0 +1,117 @@
+"""End-to-end negotiation invariants under randomized request sequences.
+
+Whatever sequence of negotiate / confirm / reject / release / adapt the
+system sees, the resource books must balance: every link's reserved
+bandwidth equals the sum of the live flows crossing it, every server's
+stream count equals its live sessions' streams, and tearing everything
+down returns the deployment to pristine state.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.status import NegotiationStatus
+from repro.sim.scenario import ScenarioSpec, build_scenario
+from repro.core.profile_manager import standard_profiles
+
+PROFILES = standard_profiles()
+
+actions = st.lists(
+    st.tuples(
+        st.sampled_from(["negotiate", "release", "reject", "congest", "heal"]),
+        st.integers(min_value=0, max_value=3),
+    ),
+    max_size=30,
+)
+
+
+class TestNegotiationConservation:
+    @given(actions)
+    @settings(max_examples=25, deadline=None)
+    def test_books_balance_under_random_sequences(self, script):
+        scenario = build_scenario(
+            ScenarioSpec(server_count=2, client_count=2, document_count=2)
+        )
+        manager = scenario.manager
+        client = scenario.any_client()
+        held = []
+
+        for action, arg in script:
+            if action == "negotiate":
+                profile = PROFILES[arg % len(PROFILES)]
+                document_id = scenario.document_ids()[
+                    arg % len(scenario.document_ids())
+                ]
+                result = manager.negotiate(document_id, profile, client)
+                if result.status.reserves_resources:
+                    held.append(result)
+            elif action == "release" and held:
+                result = held.pop(arg % len(held))
+                result.commitment.release()
+            elif action == "reject" and held:
+                result = held.pop(arg % len(held))
+                result.commitment.reject(manager.clock.now())
+            elif action == "congest":
+                links = scenario.topology.links()
+                links[arg % len(links)].set_congestion(0.5)
+            elif action == "heal":
+                scenario.topology.clear_congestion()
+
+            # Invariant 1: link reservations equal the live flows.
+            flows = scenario.transport.flows()
+            for link in scenario.topology.links():
+                expected = sum(
+                    flow.reserved_bps
+                    for flow in flows
+                    if link in flow.route.links
+                )
+                assert link.reserved_bps == pytest.approx(expected)
+            # Invariant 2: flows per held result are intact.
+            assert scenario.transport.flow_count == sum(
+                len(result.commitment.bundle.flows) for result in held
+            )
+            # Invariant 3: admitted streams match held commitments.
+            assert sum(
+                server.stream_count for server in scenario.servers.values()
+            ) == sum(
+                len(result.commitment.bundle.streams) for result in held
+            )
+
+        for result in held:
+            result.commitment.release()
+        assert scenario.transport.flow_count == 0
+        assert scenario.topology.total_reserved_bps() == 0.0
+        assert all(s.stream_count == 0 for s in scenario.servers.values())
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_failed_negotiations_never_leak(self, seed):
+        """Saturate the system, then hammer it with requests that must
+        all fail: the books must not move at all."""
+        scenario = build_scenario(
+            ScenarioSpec(server_count=1, client_count=1, document_count=1)
+        )
+        manager = scenario.manager
+        client = scenario.any_client()
+        profile = PROFILES[seed % len(PROFILES)]
+        held = []
+        while True:
+            result = manager.negotiate(
+                scenario.document_ids()[0], profile, client
+            )
+            if result.status is NegotiationStatus.FAILED_TRY_LATER:
+                break
+            held.append(result)
+            assert len(held) < 200
+        snapshot = scenario.topology.total_reserved_bps()
+        for _ in range(5):
+            result = manager.negotiate(
+                scenario.document_ids()[0], profile, client
+            )
+            assert result.status is NegotiationStatus.FAILED_TRY_LATER
+            assert scenario.topology.total_reserved_bps() == pytest.approx(
+                snapshot
+            )
+        for result in held:
+            result.commitment.release()

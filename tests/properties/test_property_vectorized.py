@@ -1,0 +1,94 @@
+"""Vectorized classification ≡ scalar reference on random offer spaces."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.client.machine import ClientMachine
+from repro.core.classification import (
+    ClassificationPolicy,
+    classify_offers,
+    classify_space,
+)
+from repro.core.cost import default_cost_model
+from repro.core.enumeration import build_offer_space
+from repro.core.importance import default_importance
+from repro.core.profiles import MMProfile, UserProfile
+from repro.documents.document import Document
+from repro.documents.media import ColorMode
+from repro.documents.monomedia import Monomedia
+from repro.documents.quality import VideoQoS
+
+from .strategies import video_variants
+
+
+@st.composite
+def random_spaces(draw):
+    """A 1–3 monomedia document with 1–4 MPEG video variants each."""
+    components = []
+    n_components = draw(st.integers(min_value=1, max_value=3))
+    for c in range(n_components):
+        monomedia_id = f"m{c}.video"
+        count = draw(st.integers(min_value=1, max_value=4))
+        variants = tuple(
+            draw(video_variants(monomedia_id=monomedia_id, index=i))
+            for i in range(count)
+        )
+        components.append(
+            Monomedia(
+                monomedia_id=monomedia_id,
+                medium="video",
+                title=f"clip {c}",
+                duration_s=max(v.duration_s for v in variants),
+                variants=variants,
+            )
+        )
+    document = Document(
+        document_id="doc.prop",
+        title="prop",
+        components=tuple(components),
+    )
+    client = ClientMachine("c", access_point="net")
+    return build_offer_space(document, client, default_cost_model())
+
+
+@st.composite
+def random_profiles(draw):
+    worst = VideoQoS(
+        color=ColorMode(draw(st.integers(min_value=0, max_value=3))),
+        frame_rate=draw(st.integers(min_value=1, max_value=60)),
+        resolution=draw(st.integers(min_value=10, max_value=1920)),
+    )
+    desired = VideoQoS(
+        color=ColorMode(draw(st.integers(min_value=int(worst.color), max_value=3))),
+        frame_rate=draw(st.integers(min_value=worst.frame_rate, max_value=60)),
+        resolution=draw(st.integers(min_value=worst.resolution, max_value=1920)),
+    )
+    cost = draw(st.integers(min_value=0, max_value=5_000)) / 100
+    return UserProfile(
+        name="prop",
+        desired=MMProfile(video=desired, cost=cost),
+        worst=MMProfile(video=worst, cost=cost),
+        importance=default_importance(),
+    )
+
+
+class TestVectorizedEquivalence:
+    @given(
+        random_spaces(),
+        random_profiles(),
+        st.sampled_from(list(ClassificationPolicy)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_vectorized_matches_scalar(self, space, profile, policy):
+        importance = default_importance()
+        vectorized = classify_space(space, profile, importance, policy=policy)
+        scalar = classify_offers(
+            space.materialize(), profile, importance, policy=policy
+        )
+        assert len(vectorized) == len(scalar)
+        for v, s in zip(vectorized, scalar):
+            assert v.offer.variant_ids == s.offer.variant_ids
+            assert v.sns == s.sns
+            assert v.oif == pytest.approx(s.oif, abs=1e-9)
+            assert v.affordable == s.affordable

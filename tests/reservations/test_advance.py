@@ -1,0 +1,134 @@
+"""Advance-booking negotiation ([Haf 96] extension)."""
+
+import pytest
+
+from repro.core.status import NegotiationStatus
+from repro.reservations.advance import AdvanceBookingPlan, AdvanceNegotiator
+from repro.util.errors import ReservationError
+
+
+@pytest.fixture
+def advance(manager):
+    return AdvanceNegotiator(manager)
+
+
+class TestNegotiateAdvance:
+    def test_booking_succeeds(self, advance, document, balanced_profile, client):
+        plan = advance.negotiate_advance(
+            document.document_id, balanced_profile, client, start_s=3600.0
+        )
+        assert isinstance(plan, AdvanceBookingPlan)
+        assert plan.status is NegotiationStatus.SUCCEEDED
+        assert plan.window == (3600.0, 3600.0 + document.duration_s)
+        assert plan.bookings
+        advance.cancel(plan)
+
+    def test_does_not_touch_live_resources(
+        self, advance, document, balanced_profile, client, transport, servers
+    ):
+        plan = advance.negotiate_advance(
+            document.document_id, balanced_profile, client, start_s=3600.0
+        )
+        assert transport.flow_count == 0
+        assert all(s.stream_count == 0 for s in servers.values())
+        advance.cancel(plan)
+
+    def test_overlapping_windows_contend(self, advance, document,
+                                         balanced_profile, client):
+        plans = []
+        while True:
+            plan = advance.negotiate_advance(
+                document.document_id, balanced_profile, client, start_s=0.0
+            )
+            if not isinstance(plan, AdvanceBookingPlan):
+                assert plan.status is NegotiationStatus.FAILED_TRY_LATER
+                break
+            plans.append(plan)
+            assert len(plans) < 100
+        assert len(plans) >= 2
+        for plan in plans:
+            advance.cancel(plan)
+
+    def test_disjoint_windows_do_not_contend(self, advance, document,
+                                             balanced_profile, client):
+        plans = []
+        for slot in range(20):
+            start = slot * 1000.0
+            plan = advance.negotiate_advance(
+                document.document_id, balanced_profile, client, start_s=start
+            )
+            assert isinstance(plan, AdvanceBookingPlan), f"slot {slot}"
+            plans.append(plan)
+        for plan in plans:
+            advance.cancel(plan)
+
+    def test_cancel_frees_window(self, advance, document, balanced_profile, client):
+        plans = []
+        while True:
+            plan = advance.negotiate_advance(
+                document.document_id, balanced_profile, client, start_s=0.0
+            )
+            if not isinstance(plan, AdvanceBookingPlan):
+                break
+            plans.append(plan)
+        advance.cancel(plans.pop())
+        retry = advance.negotiate_advance(
+            document.document_id, balanced_profile, client, start_s=0.0
+        )
+        assert isinstance(retry, AdvanceBookingPlan)
+        advance.cancel(retry)
+        for plan in plans:
+            advance.cancel(plan)
+
+    def test_local_failure_carries_over(self, advance, document, balanced_profile):
+        from repro.client.machine import ClientMachine
+        from repro.documents.media import ColorMode
+
+        bw = ClientMachine("bw", screen_color=ColorMode.BLACK_AND_WHITE,
+                           access_point="client-net")
+        result = advance.negotiate_advance(
+            document.document_id, balanced_profile, bw, start_s=0.0
+        )
+        assert result.status is NegotiationStatus.FAILED_WITH_LOCAL_OFFER
+
+
+class TestClaim:
+    def test_claim_converts_to_live_commitment(
+        self, advance, manager, document, balanced_profile, client, transport
+    ):
+        plan = advance.negotiate_advance(
+            document.document_id, balanced_profile, client, start_s=0.0
+        )
+        result = advance.claim(plan, balanced_profile, client)
+        assert result.status is NegotiationStatus.SUCCEEDED
+        assert transport.flow_count == len(plan.offer.variants)
+        # The bookings are gone: the window is free again.
+        assert all(len(l) == 0 for l in plan.ledgers)
+        result.commitment.release()
+
+    def test_double_claim_rejected(self, advance, document, balanced_profile, client):
+        plan = advance.negotiate_advance(
+            document.document_id, balanced_profile, client, start_s=0.0
+        )
+        result = advance.claim(plan, balanced_profile, client)
+        with pytest.raises(ReservationError):
+            advance.claim(plan, balanced_profile, client)
+        result.commitment.release()
+
+    def test_claim_fails_when_live_system_full(
+        self, advance, document, balanced_profile, client, topology
+    ):
+        plan = advance.negotiate_advance(
+            document.document_id, balanced_profile, client, start_s=0.0
+        )
+        topology.link("L-client").set_congestion(1.0)
+        result = advance.claim(plan, balanced_profile, client)
+        assert result.status is NegotiationStatus.FAILED_TRY_LATER
+
+    def test_cancel_idempotent(self, advance, document, balanced_profile, client):
+        plan = advance.negotiate_advance(
+            document.document_id, balanced_profile, client, start_s=0.0
+        )
+        advance.cancel(plan)
+        advance.cancel(plan)  # no raise
+        assert plan.cancelled

@@ -1,0 +1,91 @@
+"""Playout sessions: position tracking and QoE ledger."""
+
+import pytest
+
+from repro.session.playout import PlayoutSession, SessionState
+from repro.util.errors import SessionError
+
+
+@pytest.fixture
+def result(manager, document, balanced_profile, client):
+    result = manager.negotiate(document.document_id, balanced_profile, client)
+    result.commitment.confirm(0.0)
+    return result
+
+
+@pytest.fixture
+def session(result, balanced_profile, client):
+    return PlayoutSession(
+        "sess-t", result, balanced_profile, client,
+        started_at=0.0, duration_s=120.0,
+    )
+
+
+class TestPosition:
+    def test_advances_while_playing(self, session):
+        assert session.position_at(0.0) == 0.0
+        assert session.position_at(30.0) == 30.0
+
+    def test_capped_at_duration(self, session):
+        assert session.position_at(500.0) == 120.0
+        assert session.finished_by(120.0)
+
+    def test_finished_tolerates_roundoff(self, session):
+        assert session.finished_by(120.0 - 1e-9)
+
+
+class TestDegradation:
+    def test_degraded_time_accounted(self, session):
+        session.mark_degraded(10.0)
+        assert session.state is SessionState.DEGRADED
+        session.clear_degraded(25.0)
+        assert session.state is SessionState.PLAYING
+        assert session.record.degraded_time_s == pytest.approx(15.0)
+
+    def test_position_still_advances_degraded(self, session):
+        session.mark_degraded(10.0)
+        assert session.position_at(20.0) == 20.0
+
+    def test_mark_idempotent(self, session):
+        session.mark_degraded(10.0)
+        session.mark_degraded(12.0)
+        session.clear_degraded(20.0)
+        assert session.record.degraded_time_s == pytest.approx(10.0)
+
+
+class TestCompletion:
+    def test_complete_releases_resources(self, session, transport):
+        session.complete(120.0)
+        assert session.state is SessionState.COMPLETED
+        assert session.record.completed
+        assert transport.flow_count == 0
+
+    def test_abort(self, session, transport):
+        session.abort(50.0)
+        assert session.state is SessionState.ABORTED
+        assert session.record.aborted
+        assert transport.flow_count == 0
+
+    def test_double_complete_rejected(self, session):
+        session.complete(120.0)
+        with pytest.raises(SessionError):
+            session.complete(121.0)
+
+    def test_degraded_time_closed_on_completion(self, session):
+        session.mark_degraded(100.0)
+        session.complete(120.0)
+        assert session.record.degraded_time_s == pytest.approx(20.0)
+
+
+class TestConstruction:
+    def test_requires_commitment(self, balanced_profile, client):
+        from repro.core.negotiation import NegotiationResult
+        from repro.core.status import NegotiationStatus
+
+        bare = NegotiationResult(status=NegotiationStatus.FAILED_TRY_LATER)
+        with pytest.raises(SessionError):
+            PlayoutSession("s", bare, balanced_profile, client,
+                           started_at=0.0, duration_s=10.0)
+
+    def test_holder_exposed(self, session):
+        assert session.holder.startswith("session-")

@@ -1,0 +1,104 @@
+"""Congestion injection: scripted and random episodes."""
+
+import pytest
+
+from repro.session.engine import EventLoop
+from repro.session.violations import (
+    CongestionEpisode,
+    RandomInjector,
+    ScriptedInjector,
+)
+from repro.util.errors import SimulationError
+
+
+class TestCongestionEpisode:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            CongestionEpisode("disk", "x", 0.0, 1.0, 0.5)
+        with pytest.raises(Exception):
+            CongestionEpisode("link", "x", 0.0, 0.0, 0.5)
+        with pytest.raises(Exception):
+            CongestionEpisode("link", "x", 0.0, 1.0, 1.5)
+
+
+class TestScriptedInjector:
+    def test_applies_and_clears(self, topology, servers, loop):
+        injector = ScriptedInjector(
+            topology, servers,
+            [CongestionEpisode("link", "L-a", 5.0, 10.0, 0.8)],
+        )
+        injector.arm(loop)
+        loop.run_until(6.0)
+        assert topology.link("L-a").congestion == pytest.approx(0.8)
+        loop.run_until(16.0)
+        assert topology.link("L-a").congestion == 0.0
+        assert len(injector.applied) == 1
+        assert len(injector.cleared) == 1
+
+    def test_server_episodes(self, topology, servers, loop):
+        injector = ScriptedInjector(
+            topology, servers,
+            [CongestionEpisode("server", "server-a", 1.0, 2.0, 0.6)],
+        )
+        injector.arm(loop)
+        loop.run_until(1.5)
+        assert servers["server-a"].degradation == pytest.approx(0.6)
+        loop.run()
+        assert servers["server-a"].degradation == 0.0
+
+    def test_overlapping_episodes_compose_by_max(self, topology, servers, loop):
+        injector = ScriptedInjector(
+            topology, servers,
+            [
+                CongestionEpisode("link", "L-a", 0.0, 10.0, 0.5),
+                CongestionEpisode("link", "L-a", 2.0, 4.0, 0.9),
+            ],
+        )
+        injector.arm(loop)
+        loop.run_until(3.0)
+        assert topology.link("L-a").congestion == pytest.approx(0.9)
+        loop.run_until(7.0)
+        # Second episode ended; first still active.
+        assert topology.link("L-a").congestion == pytest.approx(0.5)
+        loop.run()
+        assert topology.link("L-a").congestion == 0.0
+
+    def test_unknown_server_rejected(self, topology, servers, loop):
+        injector = ScriptedInjector(
+            topology, servers,
+            [CongestionEpisode("server", "server-zz", 1.0, 2.0, 0.6)],
+        )
+        injector.arm(loop)
+        with pytest.raises(SimulationError):
+            loop.run()
+
+
+class TestRandomInjector:
+    def test_reproducible(self, topology, servers):
+        a = RandomInjector(
+            topology, servers, rate_per_s=0.1, horizon_s=100.0, rng=5
+        )
+        b = RandomInjector(
+            topology, servers, rate_per_s=0.1, horizon_s=100.0, rng=5
+        )
+        assert a.episodes == b.episodes
+
+    def test_episodes_within_horizon(self, topology, servers):
+        injector = RandomInjector(
+            topology, servers, rate_per_s=0.5, horizon_s=50.0, rng=5
+        )
+        assert all(e.start_s < 50.0 for e in injector.episodes)
+
+    def test_severity_range_respected(self, topology, servers):
+        injector = RandomInjector(
+            topology, servers, rate_per_s=0.5, horizon_s=100.0,
+            severity_range=(0.3, 0.4), rng=5,
+        )
+        assert all(0.3 <= e.severity <= 0.4 for e in injector.episodes)
+
+    def test_invalid_severity_range(self, topology, servers):
+        with pytest.raises(SimulationError):
+            RandomInjector(
+                topology, servers, rate_per_s=0.5, horizon_s=10.0,
+                severity_range=(0.8, 0.2), rng=5,
+            )

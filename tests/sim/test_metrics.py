@@ -1,0 +1,99 @@
+"""Metrics: status tallies, utilization integrals, run stats."""
+
+import pytest
+
+from repro.core.status import NegotiationStatus
+from repro.sim.metrics import RunStats, StatusCounts, UtilizationIntegral
+
+
+class TestStatusCounts:
+    def test_tally(self):
+        counts = StatusCounts()
+        counts.add(NegotiationStatus.SUCCEEDED)
+        counts.add(NegotiationStatus.SUCCEEDED)
+        counts.add(NegotiationStatus.FAILED_TRY_LATER)
+        assert counts.total == 3
+        assert counts.succeeded == 2
+        assert counts.of(NegotiationStatus.FAILED_TRY_LATER) == 1
+
+    def test_served_includes_degraded_offers(self):
+        counts = StatusCounts()
+        counts.add(NegotiationStatus.SUCCEEDED)
+        counts.add(NegotiationStatus.FAILED_WITH_OFFER)
+        counts.add(NegotiationStatus.FAILED_TRY_LATER)
+        assert counts.served == 2
+        assert counts.blocked == 1
+        assert counts.blocking_probability == pytest.approx(1 / 3)
+
+    def test_empty(self):
+        counts = StatusCounts()
+        assert counts.blocking_probability == 0.0
+        assert counts.success_rate == 0.0
+
+    def test_as_dict_uses_paper_spellings(self):
+        counts = StatusCounts()
+        counts.add(NegotiationStatus.FAILED_WITH_LOCAL_OFFER)
+        assert counts.as_dict() == {"FAILEDWITHLOCALOFFER": 1}
+
+
+class TestUtilizationIntegral:
+    def test_mean_of_step_signal(self):
+        integral = UtilizationIntegral()
+        integral.sample(0.0, 10.0)
+        integral.sample(5.0, 20.0)   # 10 for [0,5)
+        integral.sample(10.0, 0.0)   # 20 for [5,10)
+        assert integral.mean(10.0) == pytest.approx(15.0)
+
+    def test_holds_last_value_to_horizon(self):
+        integral = UtilizationIntegral()
+        integral.sample(0.0, 10.0)
+        assert integral.mean(4.0) == pytest.approx(10.0)
+
+    def test_peak(self):
+        integral = UtilizationIntegral()
+        integral.sample(0.0, 5.0)
+        integral.sample(1.0, 50.0)
+        integral.sample(2.0, 1.0)
+        assert integral.peak == 50.0
+
+    def test_time_must_not_go_backwards(self):
+        integral = UtilizationIntegral()
+        integral.sample(5.0, 1.0)
+        with pytest.raises(ValueError):
+            integral.sample(4.0, 1.0)
+
+    def test_zero_horizon(self):
+        assert UtilizationIntegral().mean(0.0) == 0.0
+
+
+class TestRunStats:
+    def test_mean_attempts(self):
+        stats = RunStats()
+        stats.statuses.add(NegotiationStatus.SUCCEEDED)
+        stats.statuses.add(NegotiationStatus.SUCCEEDED)
+        stats.attempts_total = 6
+        assert stats.mean_attempts == 3.0
+
+    def test_summary_row_shape(self):
+        stats = RunStats()
+        stats.statuses.add(NegotiationStatus.SUCCEEDED)
+        row = stats.summary_row("x")
+        assert len(row) == len(RunStats.summary_headers())
+        assert row[0] == "x"
+
+    def test_record_session(self, manager, document, balanced_profile, client):
+        from repro.session.playout import PlayoutSession
+
+        result = manager.negotiate(
+            document.document_id, balanced_profile, client
+        )
+        result.commitment.confirm(0.0)
+        session = PlayoutSession(
+            "s", result, balanced_profile, client,
+            started_at=0.0, duration_s=10.0,
+        )
+        session.complete(10.0)
+        stats = RunStats()
+        stats.record_session(session)
+        assert stats.completed_sessions == 1
+        assert stats.aborted_sessions == 0

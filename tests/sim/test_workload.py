@@ -1,0 +1,97 @@
+"""Workload generation: Poisson arrivals, popularity, profile mix."""
+
+import numpy as np
+import pytest
+
+from repro.sim.workload import (
+    WorkloadSpec,
+    generate_requests,
+    zipf_weights,
+)
+from repro.util.errors import SimulationError
+
+DOCS = [f"doc.{i}" for i in range(10)]
+CLIENTS = ["c1", "c2"]
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        weights = zipf_weights(10)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_head_heavy(self):
+        weights = zipf_weights(10, skew=1.0)
+        assert weights[0] > weights[-1]
+
+    def test_zero_skew_uniform(self):
+        weights = zipf_weights(5, skew=0.0)
+        assert np.allclose(weights, 0.2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            zipf_weights(0)
+
+
+class TestGenerateRequests:
+    def test_reproducible(self):
+        spec = WorkloadSpec(arrival_rate_per_s=0.1, horizon_s=500)
+        a = generate_requests(spec, DOCS, CLIENTS, rng=3)
+        b = generate_requests(spec, DOCS, CLIENTS, rng=3)
+        assert [(r.arrival_s, r.document_id, r.client_id) for r in a] == [
+            (r.arrival_s, r.document_id, r.client_id) for r in b
+        ]
+
+    def test_arrivals_sorted_within_horizon(self):
+        spec = WorkloadSpec(arrival_rate_per_s=0.1, horizon_s=500)
+        requests = generate_requests(spec, DOCS, CLIENTS, rng=3)
+        times = [r.arrival_s for r in requests]
+        assert times == sorted(times)
+        assert all(0 < t < 500 for t in times)
+
+    def test_rate_roughly_respected(self):
+        spec = WorkloadSpec(arrival_rate_per_s=0.2, horizon_s=5_000)
+        requests = generate_requests(spec, DOCS, CLIENTS, rng=3)
+        assert len(requests) == pytest.approx(1_000, rel=0.15)
+
+    def test_profile_mix_respected(self):
+        spec = WorkloadSpec(
+            arrival_rate_per_s=0.2, horizon_s=5_000,
+            profile_mix=(("premium", 1.0),),
+        )
+        requests = generate_requests(spec, DOCS, CLIENTS, rng=3)
+        assert all(r.profile.name == "premium" for r in requests)
+
+    def test_popularity_skew(self):
+        spec = WorkloadSpec(
+            arrival_rate_per_s=0.5, horizon_s=10_000, document_skew=1.2
+        )
+        requests = generate_requests(spec, DOCS, CLIENTS, rng=3)
+        counts = {doc: 0 for doc in DOCS}
+        for request in requests:
+            counts[request.document_id] += 1
+        assert counts["doc.0"] > counts["doc.9"]
+
+    def test_unknown_profile_rejected(self):
+        spec = WorkloadSpec(profile_mix=(("ghost", 1.0),))
+        with pytest.raises(SimulationError):
+            generate_requests(spec, DOCS, CLIENTS, rng=3)
+
+    def test_empty_documents_rejected(self):
+        with pytest.raises(SimulationError):
+            generate_requests(WorkloadSpec(), [], CLIENTS, rng=3)
+
+    def test_custom_profiles(self):
+        from repro.core import make_profile
+        from repro.documents.media import ColorMode
+        from repro.documents.quality import VideoQoS
+
+        custom = make_profile(
+            "special",
+            desired_video=VideoQoS(color=ColorMode.GREY, frame_rate=10,
+                                   resolution=360),
+        )
+        spec = WorkloadSpec(profile_mix=(("special", 1.0),))
+        requests = generate_requests(
+            spec, DOCS, CLIENTS, rng=3, profiles=[custom]
+        )
+        assert requests and all(r.profile is custom for r in requests)

@@ -1,0 +1,87 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENT_INDEX, build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.profile == "balanced"
+
+    def test_sweep_options(self):
+        args = build_parser().parse_args(
+            ["sweep", "--negotiator", "static", "--rate", "0.3", "--seed", "9"]
+        )
+        assert args.negotiator == "static"
+        assert args.rate == 0.3
+        assert args.seed == 9
+
+    def test_unknown_negotiator_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--negotiator", "magic"])
+
+
+class TestCommands:
+    def test_experiments_lists_index(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id, _, _ in EXPERIMENT_INDEX:
+            assert f"| {experiment_id} " in out
+
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--documents", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "QoS GUI" in out
+        assert "SUCCEEDED" in out
+        assert "completed" in out
+
+    def test_demo_unknown_profile(self, capsys):
+        assert main(["demo", "--profile", "ghost"]) == 2
+        assert "unknown profile" in capsys.readouterr().err
+
+    def test_windows_renders_all(self, capsys):
+        assert main(["windows", "--profile", "economy"]) == 0
+        out = capsys.readouterr().out
+        for title in ("QoS GUI", "Profile components", "Video profile",
+                      "Audio profile", "Cost profile"):
+            assert title in out
+
+    def test_sweep_runs(self, capsys):
+        assert main(
+            ["sweep", "--rate", "0.05", "--horizon", "200", "--seed", "3",
+             "--no-adaptation"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "requests" in out
+        assert "SUCCEEDED" in out or "FAILED" in out
+
+    def test_sweep_each_negotiator(self, capsys):
+        for name in ("static", "cost-only"):
+            assert main(
+                ["sweep", "--negotiator", name, "--rate", "0.02",
+                 "--horizon", "200"]
+            ) == 0
+
+
+class TestReport:
+    def test_report_reads_tables(self, tmp_path, capsys):
+        (tmp_path / "E01.txt").write_text("TABLE ONE\n")
+        (tmp_path / "E02.txt").write_text("TABLE TWO\n")
+        assert main(["report", "--out-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE ONE" in out and "TABLE TWO" in out
+        assert "2 experiment tables" in out
+
+    def test_report_missing_dir(self, tmp_path, capsys):
+        assert main(["report", "--out-dir", str(tmp_path / "nope")]) == 2
+        assert "no results" in capsys.readouterr().err
+
+    def test_report_empty_dir(self, tmp_path, capsys):
+        assert main(["report", "--out-dir", str(tmp_path)]) == 2
+        assert "no tables" in capsys.readouterr().err

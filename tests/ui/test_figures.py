@@ -1,0 +1,52 @@
+"""Figures 1–2 rendered from live objects."""
+
+from repro.core.profile_manager import standard_profiles
+from repro.documents.builder import make_news_article
+from repro.ui.figures import document_model_figure, mm_profile_figure
+
+
+class TestDocumentModelFigure:
+    def test_shows_structure(self):
+        document = make_news_article("doc.fig")
+        figure = document_model_figure(document)
+        assert "multimedia" in figure
+        for component in document.components:
+            assert component.monomedia_id in figure
+        for variant in document.iter_variants():
+            assert variant.variant_id in figure
+
+    def test_monomedia_document_labelled(self):
+        document = make_news_article(
+            "doc.solo", include_image=False, include_text=False
+        )
+        # Strip to one component to exercise the monomedia label.
+        from repro.documents.document import Document
+
+        solo = Document(
+            document_id="doc.solo2",
+            title="solo",
+            components=(document.components[0],),
+        )
+        assert "(monomedia)" in document_model_figure(solo)
+
+    def test_rates_shown(self):
+        figure = document_model_figure(make_news_article("doc.r"))
+        assert "Mbps" in figure or "kbps" in figure
+
+
+class TestMMProfileFigure:
+    def test_shows_both_profiles(self):
+        profile = standard_profiles()[1]
+        figure = mm_profile_figure(profile)
+        assert "desired" in figure
+        assert "worst acceptable" in figure
+        assert "cost profile" in figure
+        assert "time profile" in figure
+        assert "importance profile" in figure
+
+    def test_media_weights_shown_when_nonuniform(self):
+        audio_first = next(
+            p for p in standard_profiles() if p.name == "audio-first"
+        )
+        figure = mm_profile_figure(audio_first)
+        assert "audio=3" in figure

@@ -1,0 +1,52 @@
+"""Text-mode GUI widgets."""
+
+import pytest
+
+from repro.ui.widgets import button_row, choice_row, scale_bar
+from repro.util.errors import ValidationError
+
+
+class TestScaleBar:
+    def test_markers_present(self):
+        bar = scale_bar("rate", 1, 60, desired=25, worst=10, offer=15)
+        assert "d=25" in bar and "w=10" in bar and "o=15" in bar
+
+    def test_marker_positions_ordered(self):
+        bar = scale_bar("rate", 0, 100, desired=90, worst=10)
+        body = bar[bar.index("[") + 1: bar.index("]")]
+        assert body.index("w") < body.index("d")
+
+    def test_coincident_markers_star(self):
+        bar = scale_bar("rate", 0, 100, desired=50, worst=50)
+        body = bar[bar.index("[") + 1: bar.index("]")]
+        assert "*" in body
+
+    def test_clamps_out_of_range_values(self):
+        bar = scale_bar("rate", 0, 10, desired=50)
+        body = bar[bar.index("[") + 1: bar.index("]")]
+        assert body.rstrip().endswith("d")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValidationError):
+            scale_bar("x", 10, 10, desired=10)
+
+    def test_unit_rendered(self):
+        assert "25f/s" in scale_bar("rate", 1, 60, desired=25, unit="f/s")
+
+
+class TestButtonRow:
+    def test_plain(self):
+        row = button_row("OK", "CANCEL")
+        assert "[ OK ]" in row and "[ CANCEL ]" in row
+
+    def test_active_marked(self):
+        row = button_row("video", "audio", active={"video"})
+        assert "[!video!]" in row
+        assert "[ audio ]" in row
+
+
+class TestChoiceRow:
+    def test_selection_bracketed(self):
+        row = choice_row("color", ["grey", "color"], "color")
+        assert "<color>" in row
+        assert " grey " in row

@@ -1,0 +1,39 @@
+"""Error hierarchy contracts."""
+
+import pytest
+
+from repro.util import errors as E
+
+
+class TestHierarchy:
+    def test_everything_is_repro_error(self):
+        for name in E.__all__:
+            cls = getattr(E, name)
+            assert issubclass(cls, E.ReproError), name
+
+    def test_validation_is_value_error(self):
+        assert issubclass(E.ValidationError, ValueError)
+
+    def test_not_found_is_key_error(self):
+        assert issubclass(E.NotFoundError, KeyError)
+
+    def test_not_found_message_unquoted(self):
+        # Plain KeyError would wrap the message in quotes.
+        err = E.NotFoundError("no document 'x'")
+        assert str(err) == "no document 'x'"
+
+    def test_capacity_is_reservation_error(self):
+        assert issubclass(E.CapacityError, E.ReservationError)
+
+    def test_negotiation_family(self):
+        for cls in (
+            E.ProfileError,
+            E.OfferError,
+            E.ConfirmationTimeout,
+            E.AdaptationError,
+        ):
+            assert issubclass(cls, E.NegotiationError)
+
+    def test_catchable_at_boundary(self):
+        with pytest.raises(E.ReproError):
+            raise E.AdmissionError("disk full")
