@@ -14,7 +14,9 @@ Public API layout:
 * :mod:`repro.network` — topology, routing and flow reservations;
 * :mod:`repro.cmfs` — the continuous-media file server substrate;
 * :mod:`repro.session` — playout sessions, monitoring, adaptation loop;
-* :mod:`repro.sim` — scenarios, workloads, metrics, baselines;
+* :mod:`repro.faults` — fault injection + resilience (retries, circuit
+  breakers, reservation leases);
+* :mod:`repro.sim` — scenarios, workloads, metrics, baselines, chaos;
 * :mod:`repro.ui` — the text-mode QoS GUI.
 
 The most common entry points are re-exported here.

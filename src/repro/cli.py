@@ -1,12 +1,15 @@
 """Command-line interface.
 
-Four subcommands exercise the library from a shell:
+Subcommands exercising the library from a shell:
 
 * ``demo`` — negotiate one article end to end on a built-in deployment,
   printing the GUI windows along the way;
 * ``windows`` — render the §8 GUI windows for a stock profile;
 * ``sweep`` — run a seeded workload through a chosen negotiator and
   print the outcome statistics;
+* ``chaos`` — run negotiation + playout under a seeded fault plan
+  (server crashes, link flaps, transient refusals, lost releases) and
+  report blocking/recovery metrics;
 * ``experiments`` — list the E-series experiment index.
 
 Invoke as ``python -m repro <subcommand>``.
@@ -70,6 +73,27 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=1)
     sweep.add_argument("--servers", type=int, default=2)
     sweep.add_argument("--no-adaptation", action="store_true")
+
+    chaos = sub.add_parser(
+        "chaos", help="run negotiation + playout under a fault plan"
+    )
+    chaos.add_argument(
+        "--fault", action="append", default=[], dest="faults",
+        metavar="KIND:TARGET:START:DUR[:VALUE]",
+        help="injectable fault, e.g. crash:server-a:10:30, "
+             "flap:L-client-1:40:20:0.9, slow:server-b:0:60:2.5, "
+             "refuse:server-a:0:-:2, lost-release:server-a:0:120; "
+             "repeatable (default: a demo crash + link flap)",
+    )
+    chaos.add_argument("--seed", type=int, default=1)
+    chaos.add_argument("--requests", type=int, default=4)
+    chaos.add_argument("--servers", type=int, default=3)
+    chaos.add_argument("--spacing", type=float, default=5.0,
+                       help="request inter-arrival time, seconds")
+    chaos.add_argument("--profile", default="balanced")
+    chaos.add_argument("--lease-ttl", type=float, default=120.0)
+    chaos.add_argument("--max-attempts", type=int, default=3,
+                       help="retry attempts per reservation call")
 
     sub.add_parser("experiments", help="list the experiment index")
 
@@ -196,6 +220,54 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from .core import ProfileManager
+    from .faults import FaultPlan, RetryPolicy, parse_fault_spec
+    from .sim import ChaosSpec, ScenarioSpec, run_chaos
+    from .util.errors import NotFoundError, SimulationError, ValidationError
+
+    if args.profile not in ProfileManager():
+        print(f"unknown profile {args.profile!r}; have "
+              f"{ProfileManager().names()}", file=sys.stderr)
+        return 2
+    if args.faults:
+        try:
+            faults = tuple(parse_fault_spec(text) for text in args.faults)
+        except ValidationError as error:
+            print(f"bad fault spec: {error}", file=sys.stderr)
+            return 2
+    else:
+        # Demonstration plan: crash the first server during the early
+        # commitments, flap the first client's access link mid-playout.
+        faults = (
+            parse_fault_spec("crash:server-a:2:20"),
+            parse_fault_spec("flap:L-client-1:30:15"),
+        )
+    plan = FaultPlan(faults, seed=args.seed)
+    try:
+        spec = ChaosSpec(
+            scenario=ScenarioSpec(server_count=args.servers),
+            plan=plan,
+            seed=args.seed,
+            requests=args.requests,
+            request_spacing_s=args.spacing,
+            profile_name=args.profile,
+            retry=RetryPolicy(max_attempts=args.max_attempts),
+            lease_ttl_s=args.lease_ttl,
+        )
+        print(plan.describe())
+        print()
+        report, _scenario = run_chaos(spec)
+    except (NotFoundError, SimulationError, ValidationError) as error:
+        print(f"bad chaos run: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if not report.clean_teardown:
+        print("\nWARNING: reservations leaked at teardown", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_experiments(_args) -> int:
     from .util.tables import render_table
 
@@ -237,6 +309,7 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         "demo": _cmd_demo,
         "windows": _cmd_windows,
         "sweep": _cmd_sweep,
+        "chaos": _cmd_chaos,
         "experiments": _cmd_experiments,
         "report": _cmd_report,
     }

@@ -13,7 +13,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
-from ..util.errors import AdmissionError, ReservationError
+from ..util.errors import AdmissionError, ReservationError, ServerCrashedError
 from ..util.validation import check_fraction, check_name, check_positive
 from .admission import AdmissionController, AdmissionDecision
 from .disk import DiskModel
@@ -54,6 +54,10 @@ class MediaServer:
         self._streams: dict[str, StreamReservation] = {}
         self._sequence = itertools.count(1)
         self._degradation = 0.0
+        self._crashed = False
+        # Thin fault-injection hook (see repro.faults.injector); None in
+        # production paths so the happy path costs one identity check.
+        self.fault_hook = None
 
     # -- capacity state -----------------------------------------------------------
 
@@ -80,8 +84,13 @@ class MediaServer:
     def admit(
         self, variant_id: str, rate_bps: float, *, holder: str = "anonymous"
     ) -> StreamReservation:
-        """Admit one stream or raise :class:`AdmissionError`."""
+        """Admit one stream or raise :class:`AdmissionError` (or
+        :class:`ServerCrashedError` while the machine is down)."""
         check_positive(rate_bps, "rate_bps")
+        if self._crashed:
+            raise ServerCrashedError(f"{self.server_id} is down")
+        if self.fault_hook is not None:
+            self.fault_hook.before_admit(self, variant_id, rate_bps)
         decision = self.can_admit(rate_bps)
         if not decision:
             raise AdmissionError(
@@ -108,6 +117,10 @@ class MediaServer:
             if isinstance(reservation, StreamReservation)
             else reservation
         )
+        if self.fault_hook is not None and self.fault_hook.intercept_stream_release(
+            self, stream_id
+        ):
+            return  # lost release: the ledger leaks until the lease reaper runs
         if self._streams.pop(stream_id, None) is None:
             raise ReservationError(
                 f"{self.server_id}: no stream {stream_id!r}"
@@ -120,6 +133,30 @@ class MediaServer:
 
     def reservations(self) -> tuple[StreamReservation, ...]:
         return tuple(self._streams.values())
+
+    def has_stream(self, stream_id: str) -> bool:
+        return stream_id in self._streams
+
+    # -- crash / restart ---------------------------------------------------------------
+
+    @property
+    def is_crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self) -> None:
+        """The machine goes down: admissions raise, every held stream is
+        violated until :meth:`restart`."""
+        self._crashed = True
+
+    def restart(self, *, preserve_streams: bool = False) -> None:
+        """Bring the machine back.  A real crash loses the in-memory
+        reservation ledger, so by default held streams are wiped — their
+        holders' later releases are tolerated by the rollback paths."""
+        if not preserve_streams:
+            for stream_id in list(self._streams):
+                self._streams.pop(stream_id)
+                self.scheduler.remove_stream(stream_id)
+        self._crashed = False
 
     # -- degradation / adaptation hooks ----------------------------------------------
 
@@ -134,7 +171,10 @@ class MediaServer:
 
     def violated_holders(self) -> frozenset[str]:
         """Holders currently shed because degradation shrank capacity
-        below the admitted aggregate; latest admissions shed first."""
+        below the admitted aggregate; latest admissions shed first.  A
+        crashed machine sheds everyone."""
+        if self._crashed:
+            return frozenset(s.holder for s in self._streams.values())
         if self._degradation == 0.0:
             return frozenset()
         rates = self.stream_rates()

@@ -11,6 +11,14 @@ Step 6 wraps the held resources in a :class:`Commitment` with a
 confirmation deadline (``choicePeriod``, §8): the user must confirm
 within the period or the reservation is released and the session
 aborted.
+
+The committer is failure-aware (see :mod:`repro.faults`): transient
+admission faults are retried under a :class:`~repro.faults.RetryPolicy`,
+attempt outcomes feed a per-server :class:`~repro.faults.CircuitBreaker`
+so the commitment walk can quarantine flapping machines, and committed
+bundles carry leases so a lost release can never leak capacity forever.
+All three mechanisms are optional and off by default — the seed
+behaviour is unchanged until a deployment opts in.
 """
 
 from __future__ import annotations
@@ -20,26 +28,47 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from ..cmfs.server import MediaServer, StreamReservation
+from ..faults.health import CircuitBreaker
+from ..faults.lease import LeaseManager
+from ..faults.retry import RetryPolicy, execute_with_retry, is_retryable
 from ..network.transport import (
     FlowReservation,
     GuaranteeType,
     TransportSystem,
 )
+from ..util.clock import ManualClock
 from ..util.errors import (
     AdmissionError,
     CapacityError,
     ConfirmationTimeout,
+    FaultTimeoutError,
     ReservationError,
+    ServerCrashedError,
+    TransientFaultError,
 )
+from ..util.rng import make_rng
 from .enumeration import OfferSpace
 from .offers import SystemOffer
 
 __all__ = [
     "ReservationBundle",
+    "CommitStats",
     "ResourceCommitter",
     "CommitmentState",
     "Commitment",
 ]
+
+# Everything that legitimately ends one offer's commitment attempt and
+# moves the step-5 walk to the next offer.  Transient faults appear here
+# because they surface only after the retry budget is exhausted.
+COMMIT_FAILURES = (
+    AdmissionError,
+    ServerCrashedError,
+    CapacityError,
+    ReservationError,
+    TransientFaultError,
+    FaultTimeoutError,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -52,16 +81,45 @@ class ReservationBundle:
     holder: str
 
 
+@dataclass(slots=True)
+class CommitStats:
+    """Counters over a committer's lifetime (chaos reporting)."""
+
+    attempts: int = 0          # individual admit/reserve calls
+    retries: int = 0           # backoff retries performed
+    breaker_skips: int = 0     # offers skipped because a server was quarantined
+    leases_reaped: int = 0     # expired/zombie leases collected
+
+
 class ResourceCommitter:
-    """Step-5 executor against the transport system and server fleet."""
+    """Step-5 executor against the transport system and server fleet.
+
+    ``retry_policy``, ``health`` and ``lease_ttl_s`` are optional
+    resilience layers: with all three left at ``None`` the committer
+    behaves exactly like the fault-oblivious original.
+    """
 
     def __init__(
         self,
         transport: TransportSystem,
         servers: Mapping[str, MediaServer],
+        *,
+        clock: "ManualClock | None" = None,
+        retry_policy: "RetryPolicy | None" = None,
+        health: "CircuitBreaker | None" = None,
+        lease_ttl_s: "float | None" = None,
+        retry_seed: int = 0,
     ) -> None:
         self._transport = transport
         self._servers = dict(servers)
+        self._clock = clock or ManualClock()
+        self.retry_policy = retry_policy
+        self.health = health
+        self.leases = (
+            LeaseManager(ttl_s=lease_ttl_s) if lease_ttl_s is not None else None
+        )
+        self.stats = CommitStats()
+        self._retry_rng = make_rng(retry_seed)
 
     @property
     def servers(self) -> Mapping[str, MediaServer]:
@@ -71,11 +129,54 @@ class ResourceCommitter:
     def transport(self) -> TransportSystem:
         return self._transport
 
+    @property
+    def clock(self) -> ManualClock:
+        return self._clock
+
     def server(self, server_id: str) -> MediaServer:
         try:
             return self._servers[server_id]
         except KeyError:
             raise ReservationError(f"unknown server {server_id!r}") from None
+
+    # -- resilient call wrappers ---------------------------------------------------
+
+    def _run_resilient(self, fn, *, server_id: "str | None" = None):
+        """Execute one reservation call under the retry policy, feeding
+        attempt outcomes into the health tracker."""
+        now = self._clock.now
+        health = self.health
+
+        def on_retry(attempt: int, error: BaseException, delay: float) -> None:
+            self.stats.retries += 1
+            self.stats.attempts += 1
+            if health is not None and server_id is not None:
+                health.record_failure(server_id, now())
+
+        self.stats.attempts += 1
+        try:
+            if self.retry_policy is None:
+                result = fn()
+            else:
+                result = execute_with_retry(
+                    fn,
+                    self.retry_policy,
+                    rng=self._retry_rng,
+                    on_retry=on_retry,
+                )
+        except Exception as error:
+            if (
+                health is not None
+                and server_id is not None
+                and is_retryable(error)
+            ):
+                health.record_failure(server_id, now())
+            raise
+        if health is not None and server_id is not None:
+            health.record_success(server_id, now())
+        return result
+
+    # -- commitment ----------------------------------------------------------------
 
     def try_commit(
         self,
@@ -90,7 +191,8 @@ class ResourceCommitter:
 
         Returns the bundle on success; on any admission or capacity
         failure everything already taken is rolled back and ``None`` is
-        returned (step 5 then moves to the next offer).
+        returned (step 5 then moves to the next offer).  Transient
+        faults are retried per the policy before counting as failure.
         """
         streams: list[StreamReservation] = []
         flows: list[FlowReservation] = []
@@ -100,45 +202,109 @@ class ResourceCommitter:
                 server = self.server(variant.server_id)
                 rate = guarantee.billable_rate(spec)
                 streams.append(
-                    server.admit(variant.variant_id, rate, holder=holder)
-                )
-                flows.append(
-                    self._transport.reserve(
-                        server.access_point,
-                        client_access_point,
-                        spec,
-                        guarantee=guarantee,
-                        holder=holder,
+                    self._run_resilient(
+                        lambda s=server, v=variant, r=rate: s.admit(
+                            v.variant_id, r, holder=holder
+                        ),
+                        server_id=server.server_id,
                     )
                 )
-        except (AdmissionError, CapacityError, ReservationError):
+                flows.append(
+                    self._run_resilient(
+                        lambda s=server, sp=spec: self._transport.reserve(
+                            s.access_point,
+                            client_access_point,
+                            sp,
+                            guarantee=guarantee,
+                            holder=holder,
+                        )
+                    )
+                )
+        except COMMIT_FAILURES:
             self._rollback(streams, flows)
             return None
-        return ReservationBundle(
+        bundle = ReservationBundle(
             offer=offer,
             streams=tuple(streams),
             flows=tuple(flows),
             holder=holder,
         )
+        if self.leases is not None:
+            self.leases.grant(holder, bundle, self._clock.now())
+        return bundle
 
     def release(self, bundle: ReservationBundle) -> None:
         self._rollback(list(bundle.streams), list(bundle.flows))
+        if self.leases is not None:
+            if self._leftovers(bundle):
+                # A release was swallowed (lost-release fault): keep the
+                # lease as a zombie so the reaper retries later.
+                self.leases.mark_zombie(bundle.holder)
+            else:
+                self.leases.drop(bundle.holder)
 
     def _rollback(
         self,
         streams: "list[StreamReservation]",
         flows: "list[FlowReservation]",
     ) -> None:
+        """Best-effort release of everything listed.
+
+        Never raises: double releases, unknown servers (a stream from a
+        server since removed from the fleet) and crashed machines must
+        not abort the loop and leak the remaining reservations.
+        """
         for flow in flows:
             try:
                 self._transport.release(flow)
             except ReservationError:
                 pass  # already gone (e.g. double release during teardown)
         for stream in streams:
+            server = self._servers.get(stream.server_id)
+            if server is None:
+                continue  # unknown server id: nothing to release here
             try:
-                self._servers[stream.server_id].release(stream)
+                server.release(stream)
             except ReservationError:
                 pass
+
+    # -- leases --------------------------------------------------------------------
+
+    def renew_lease(self, holder: str, now: "float | None" = None) -> bool:
+        """Refresh a live session's lease; no-op without lease support."""
+        if self.leases is None:
+            return False
+        return self.leases.renew_if_held(
+            holder, self._clock.now() if now is None else now
+        )
+
+    def _leftovers(self, bundle: ReservationBundle) -> bool:
+        """Does any of the bundle's resources still exist after release?"""
+        return any(
+            self._servers[s.server_id].has_stream(s.stream_id)
+            for s in bundle.streams
+            if s.server_id in self._servers
+        ) or any(self._transport.has_flow(f.flow_id) for f in bundle.flows)
+
+    def reap_expired(self, now: "float | None" = None) -> int:
+        """Release the bundles of expired or zombie leases.
+
+        This is the backstop that makes a lost release survivable: the
+        leaked reservation is recovered as soon as its lease runs out
+        (or, for zombies, on the next sweep after the fault clears).
+        Returns the number of leases collected.
+        """
+        if self.leases is None:
+            return 0
+        now = self._clock.now() if now is None else now
+        reaped = 0
+        for lease in self.leases.due(now):
+            self._rollback(list(lease.bundle.streams), list(lease.bundle.flows))
+            if not self._leftovers(lease.bundle):
+                self.leases.collect(lease)
+                reaped += 1
+        self.stats.leases_reaped += reaped
+        return reaped
 
 
 class CommitmentState(enum.Enum):
@@ -154,6 +320,11 @@ class Commitment:
 
     "The user must confirm the user offer (rejection or acceptance)
     within a limited amount of time since the resources are reserved."
+
+    Teardown is idempotent: the ``choicePeriod`` timer firing
+    concurrently with an explicit user release or rejection must never
+    raise nor double-release — the bundle is returned exactly once, and
+    every later teardown call is a no-op.
     """
 
     def __init__(
@@ -169,6 +340,7 @@ class Commitment:
         self.reserved_at = float(reserved_at)
         self.choice_period_s = float(choice_period_s)
         self.state = CommitmentState.PENDING
+        self._bundle_released = False
 
     @property
     def offer(self) -> SystemOffer:
@@ -178,10 +350,17 @@ class Commitment:
     def deadline(self) -> float:
         return self.reserved_at + self.choice_period_s
 
+    def _release_bundle(self) -> None:
+        """Return the held resources exactly once."""
+        if self._bundle_released:
+            return
+        self._bundle_released = True
+        self._committer.release(self.bundle)
+
     def _expire_if_due(self, now: float) -> None:
         if self.state is CommitmentState.PENDING and now > self.deadline:
             self.state = CommitmentState.EXPIRED
-            self._committer.release(self.bundle)
+            self._release_bundle()
 
     def confirm(self, now: float) -> None:
         """User pressed OK.  Raises :class:`ConfirmationTimeout` if the
@@ -200,16 +379,21 @@ class Commitment:
         self.state = CommitmentState.CONFIRMED
 
     def reject(self, now: float) -> None:
-        """User pressed CANCEL; resources are de-allocated (§4 step 6)."""
+        """User pressed CANCEL; resources are de-allocated (§4 step 6).
+        A no-op when the commitment already reached a terminal state."""
         self._expire_if_due(now)
-        if self.state in (CommitmentState.EXPIRED, CommitmentState.REJECTED):
+        if self.state in (
+            CommitmentState.EXPIRED,
+            CommitmentState.REJECTED,
+            CommitmentState.RELEASED,
+        ):
             return
         if self.state is not CommitmentState.PENDING:
             raise ReservationError(
                 f"cannot reject a commitment in state {self.state.value}"
             )
         self.state = CommitmentState.REJECTED
-        self._committer.release(self.bundle)
+        self._release_bundle()
 
     def expire_check(self, now: float) -> bool:
         """Poll-style timeout check; True if the commitment expired."""
@@ -217,7 +401,9 @@ class Commitment:
         return self.state is CommitmentState.EXPIRED
 
     def release(self) -> None:
-        """Tear down after playout completion or adaptation switch."""
+        """Tear down after playout completion or adaptation switch.
+        Idempotent, and safe against a concurrent ``choicePeriod``
+        expiry having already returned the bundle."""
         if self.state in (
             CommitmentState.RELEASED,
             CommitmentState.REJECTED,
@@ -225,4 +411,4 @@ class Commitment:
         ):
             return
         self.state = CommitmentState.RELEASED
-        self._committer.release(self.bundle)
+        self._release_bundle()

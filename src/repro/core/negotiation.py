@@ -36,6 +36,8 @@ from ..cmfs.server import MediaServer
 from ..documents.document import Document
 from ..documents.media import Medium
 from ..documents.quality import MediaQoS
+from ..faults.health import CircuitBreaker
+from ..faults.retry import RetryPolicy
 from ..metadata.database import MetadataDatabase
 from ..network.transport import GuaranteeType, TransportSystem
 from ..util.clock import ManualClock
@@ -55,7 +57,11 @@ from .offers import derive_user_offer
 from .profiles import MMProfile, UserProfile
 from .status import NegotiationStatus
 
-__all__ = ["NegotiationResult", "QoSManager"]
+__all__ = ["DEFAULT_RETRY_AFTER_S", "NegotiationResult", "QoSManager"]
+
+DEFAULT_RETRY_AFTER_S = 30.0
+"""Retry-after hint on FAILEDTRYLATER when no breaker knows better —
+roughly the time scale on which playing sessions end and free capacity."""
 
 
 @dataclass(slots=True)
@@ -70,6 +76,7 @@ class NegotiationResult:
     offer_space: OfferSpace | None = None
     local_violations: dict[Medium, tuple[str, ...]] = field(default_factory=dict)
     attempts: int = 0
+    retry_after_s: "float | None" = None  # hint accompanying FAILEDTRYLATER
 
     @property
     def succeeded(self) -> bool:
@@ -83,6 +90,8 @@ class NegotiationResult:
             lines.append(f"chosen: {self.chosen}")
         lines.append(f"offers classified: {len(self.classified)}")
         lines.append(f"commitment attempts: {self.attempts}")
+        if self.retry_after_s is not None:
+            lines.append(f"retry after: {self.retry_after_s:g}s")
         return "\n".join(lines)
 
 
@@ -105,6 +114,10 @@ class QoSManager:
         policy: ClassificationPolicy = ClassificationPolicy.SNS_PRIMARY,
         guarantee: GuaranteeType = GuaranteeType.GUARANTEED,
         directory: "object | None" = None,
+        retry_policy: "RetryPolicy | None" = None,
+        health: "CircuitBreaker | None" = None,
+        lease_ttl_s: "float | None" = None,
+        retry_seed: int = 0,
     ) -> None:
         self.database = database
         self.cost_model = cost_model or default_cost_model()
@@ -113,7 +126,15 @@ class QoSManager:
         self.policy = policy
         self.guarantee = guarantee
         self.directory = directory  # ServerDirectory, for preferences
-        self.committer = ResourceCommitter(transport, servers)
+        self.committer = ResourceCommitter(
+            transport,
+            servers,
+            clock=self.clock,
+            retry_policy=retry_policy,
+            health=health,
+            lease_ttl_s=lease_ttl_s,
+            retry_seed=retry_seed,
+        )
         self._holders = itertools.count(1)
 
     # -- step 1 -----------------------------------------------------------------
@@ -217,8 +238,14 @@ class QoSManager:
     ) -> NegotiationResult:
         """Walk the classified list in two passes (§5.2.2(c)):
         user-satisfying offers first, then the remaining feasible ones —
-        each pass in classified order."""
+        each pass in classified order.
+
+        When the committer tracks health, offers using a quarantined
+        (circuit-open) server are skipped outright — the walk degrades
+        gracefully to alternate-server variants instead of spending its
+        retry budget against a machine known to be failing."""
         holder = f"session-{next(self._holders)}"
+        health = self.committer.health
         attempts = 0
         satisfying = [
             c for c in classified
@@ -229,6 +256,14 @@ class QoSManager:
             if not c.satisfies_user and c.offer.offer_id not in exclude_offer_ids
         ]
         for candidate in itertools.chain(satisfying, fallback):
+            if health is not None:
+                now = self.clock.now()
+                if not all(
+                    health.allow(server_id, now)
+                    for server_id in candidate.offer.servers_used()
+                ):
+                    self.committer.stats.breaker_skips += 1
+                    continue
             attempts += 1
             bundle = self.committer.try_commit(
                 candidate.offer,
@@ -268,7 +303,19 @@ class QoSManager:
             classified=classified,
             offer_space=space,
             attempts=attempts,
+            retry_after_s=self._retry_after_hint(),
         )
+
+    def _retry_after_hint(self) -> float:
+        """When is retrying the whole negotiation first worthwhile?  The
+        earliest quarantine expiry if a breaker is open, else a default
+        heuristic."""
+        health = self.committer.health
+        if health is not None:
+            reopen = health.earliest_reopen(self.clock.now())
+            if reopen is not None:
+                return max(reopen - self.clock.now(), 0.0)
+        return DEFAULT_RETRY_AFTER_S
 
     # -- renegotiation (§8) ------------------------------------------------------------
 

@@ -1,0 +1,43 @@
+"""Fault injection and resilience primitives.
+
+The paper's negotiation (§4 steps 5–6) and automatic adaptation (§8)
+exist because real fleets fail mid-reservation and mid-playout.  This
+package supplies both sides of that story:
+
+* the *fault* side — :class:`FaultPlan` / :class:`FaultInjector`
+  deterministically produce server crashes, slow or transiently-refused
+  admissions, link flaps, and lost releases against a live deployment;
+* the *resilience* side — :class:`RetryPolicy` (capped backoff with
+  deterministic jitter), :class:`CircuitBreaker` (per-server quarantine)
+  and :class:`LeaseManager` (expiring reservation leases) let the
+  control plane survive those faults gracefully.
+"""
+
+from .health import BreakerState, CircuitBreaker, ServerHealth
+from .injector import FaultInjector, FaultStats
+from .lease import Lease, LeaseManager
+from .plan import FaultKind, FaultPlan, FaultSpec, parse_fault_spec
+from .retry import (
+    RETRYABLE_ERRORS,
+    RetryPolicy,
+    execute_with_retry,
+    is_retryable,
+)
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "ServerHealth",
+    "FaultInjector",
+    "FaultStats",
+    "Lease",
+    "LeaseManager",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "parse_fault_spec",
+    "RETRYABLE_ERRORS",
+    "RetryPolicy",
+    "execute_with_retry",
+    "is_retryable",
+]

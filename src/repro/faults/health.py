@@ -1,0 +1,161 @@
+"""Per-server health tracking with a circuit breaker.
+
+The commitment walk (§4 step 5) consults a :class:`CircuitBreaker`
+before attempting an offer: servers that failed repeatedly are
+*quarantined* for a recovery window, so their variants are skipped and
+the walk degrades gracefully to alternate-server offers instead of
+burning its retry budget against a dead machine.  After the window one
+probe is let through (half-open); success closes the breaker, failure
+re-opens it for another window.
+
+The breaker also powers the retry-after hint on ``FAILEDTRYLATER``
+results: the earliest quarantine expiry is when retrying the whole
+negotiation first becomes worthwhile.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..util.errors import ValidationError
+from ..util.validation import check_positive
+
+__all__ = ["BreakerState", "ServerHealth", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"        # healthy: requests flow
+    OPEN = "open"            # quarantined: requests skipped
+    HALF_OPEN = "half-open"  # recovery window elapsed: one probe allowed
+
+
+@dataclass(slots=True)
+class ServerHealth:
+    """Mutable health record of one server."""
+
+    state: BreakerState = BreakerState.CLOSED
+    consecutive_failures: int = 0
+    successes: int = 0
+    failures: int = 0
+    opened_at: "float | None" = None
+
+
+class CircuitBreaker:
+    """Failure counting + quarantine over a server fleet.
+
+    ``failure_threshold`` consecutive failures open the breaker for
+    ``recovery_time_s``.  All transitions are driven by the caller's
+    simulated ``now`` — the breaker holds no clock of its own.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        recovery_time_s: float = 30.0,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValidationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self.recovery_time_s = check_positive(
+            recovery_time_s, "recovery_time_s"
+        )
+        self._health: dict[str, ServerHealth] = {}
+        self.opens = 0  # lifetime count of CLOSED/HALF_OPEN -> OPEN trips
+
+    def _record(self, server_id: str) -> ServerHealth:
+        return self._health.setdefault(server_id, ServerHealth())
+
+    def health(self, server_id: str) -> ServerHealth:
+        return self._record(server_id)
+
+    def state(self, server_id: str, now: float) -> BreakerState:
+        record = self._record(server_id)
+        self._maybe_half_open(record, now)
+        return record.state
+
+    # -- outcome recording ---------------------------------------------------------
+
+    def record_success(self, server_id: str, now: float) -> None:
+        record = self._record(server_id)
+        record.successes += 1
+        record.consecutive_failures = 0
+        record.state = BreakerState.CLOSED
+        record.opened_at = None
+
+    def record_failure(self, server_id: str, now: float) -> None:
+        record = self._record(server_id)
+        record.failures += 1
+        record.consecutive_failures += 1
+        if record.state is BreakerState.HALF_OPEN:
+            # The probe failed: back to quarantine for a fresh window.
+            self._trip(record, now)
+        elif (
+            record.state is BreakerState.CLOSED
+            and record.consecutive_failures >= self.failure_threshold
+        ):
+            self._trip(record, now)
+
+    def _trip(self, record: ServerHealth, now: float) -> None:
+        record.state = BreakerState.OPEN
+        record.opened_at = now
+        self.opens += 1
+
+    # -- admission gating ----------------------------------------------------------
+
+    def _maybe_half_open(self, record: ServerHealth, now: float) -> None:
+        if (
+            record.state is BreakerState.OPEN
+            and record.opened_at is not None
+            and now >= record.opened_at + self.recovery_time_s - 1e-12
+        ):
+            record.state = BreakerState.HALF_OPEN
+
+    def allow(self, server_id: str, now: float) -> bool:
+        """May a request be sent to this server right now?  An OPEN
+        breaker whose recovery window elapsed transitions to HALF_OPEN
+        and admits the probe."""
+        record = self._record(server_id)
+        self._maybe_half_open(record, now)
+        return record.state is not BreakerState.OPEN
+
+    def quarantined(self, now: float) -> frozenset[str]:
+        """Servers currently skipped (read-only: no transitions)."""
+        out = []
+        for server_id, record in self._health.items():
+            if record.state is not BreakerState.OPEN:
+                continue
+            if (
+                record.opened_at is not None
+                and now >= record.opened_at + self.recovery_time_s - 1e-12
+            ):
+                continue  # due for a half-open probe: not quarantined
+            out.append(server_id)
+        return frozenset(out)
+
+    def earliest_reopen(self, now: float) -> "float | None":
+        """The soonest time a quarantined server becomes probeable, or
+        ``None`` when nothing is quarantined."""
+        deadlines = [
+            record.opened_at + self.recovery_time_s
+            for record in self._health.values()
+            if record.state is BreakerState.OPEN and record.opened_at is not None
+        ]
+        future = [d for d in deadlines if d > now]
+        return min(future) if future else None
+
+    def reset(self) -> None:
+        self._health.clear()
+
+    def __repr__(self) -> str:
+        open_count = sum(
+            1 for r in self._health.values() if r.state is BreakerState.OPEN
+        )
+        return (
+            f"CircuitBreaker({len(self._health)} tracked, {open_count} open, "
+            f"threshold={self.failure_threshold}, "
+            f"recovery={self.recovery_time_s:g}s)"
+        )

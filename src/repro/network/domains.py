@@ -243,6 +243,8 @@ class HierarchicalTransport(TransportSystem):
 
     def release(self, flow: "FlowReservation | str") -> None:
         flow_id = flow.flow_id if isinstance(flow, FlowReservation) else flow
+        if self._release_intercepted(flow_id):
+            return
         record = self._flows.pop(flow_id, None)
         if record is None:
             raise ReservationError(f"no flow {flow_id!r}")

@@ -72,6 +72,9 @@ class TransportSystem:
         self._topology = topology
         self._flows: dict[str, FlowReservation] = {}
         self._flow_ids = itertools.count(1)
+        # Thin fault-injection hook (see repro.faults.injector); None in
+        # production paths so the happy path costs one identity check.
+        self.fault_hook = None
 
     @property
     def topology(self) -> Topology:
@@ -105,6 +108,9 @@ class TransportSystem:
 
     def flows(self) -> tuple[FlowReservation, ...]:
         return tuple(self._flows.values())
+
+    def has_flow(self, flow_id: str) -> bool:
+        return flow_id in self._flows
 
     @property
     def flow_count(self) -> int:
@@ -158,6 +164,8 @@ class TransportSystem:
 
     def release(self, flow: "FlowReservation | str") -> None:
         flow_id = flow.flow_id if isinstance(flow, FlowReservation) else flow
+        if self._release_intercepted(flow_id):
+            return
         record = self._flows.pop(flow_id, None)
         if record is None:
             raise ReservationError(f"no flow {flow_id!r}")
@@ -165,6 +173,13 @@ class TransportSystem:
             record.route.links, record.link_reservations
         ):
             link.release(reservation)
+
+    def _release_intercepted(self, flow_id: str) -> bool:
+        """Lost-release fault: the flow stays reserved (leaked) until the
+        lease reaper recovers it."""
+        return self.fault_hook is not None and self.fault_hook.intercept_flow_release(
+            flow_id
+        )
 
     def release_all(self) -> None:
         for flow_id in list(self._flows):

@@ -146,8 +146,17 @@ class SessionRuntime:
         self.loop.after(self.monitor_period_s, sweep, label="monitor")
 
     def sweep_once(self) -> list[Violation]:
-        """One monitoring pass: detect violations and adapt."""
+        """One monitoring pass: renew leases, reap leaks, detect
+        violations and adapt."""
         now = self.loop.now
+        committer = self.manager.committer
+        if committer.leases is not None:
+            # Live sessions keep their leases fresh; whatever stopped
+            # renewing (lost releases, vanished users) is reaped, so no
+            # reservation outlives its holder by more than one TTL.
+            for session in self.sessions.values():
+                committer.renew_lease(session.holder, now)
+            committer.reap_expired(now)
         violations = self.monitor.scan(self.sessions.values(), now)
         violated_ids = {violation.session_id for violation in violations}
         for session in list(self.sessions.values()):

@@ -10,6 +10,7 @@ from .baselines import (
     SmartNegotiator,
     StaticNegotiator,
 )
+from .chaos import ChaosReport, ChaosSpec, run_chaos
 from .experiment import RunConfig, run_workload
 from .metrics import RunStats, StatusCounts, UtilizationIntegral
 from .scenario import Scenario, ScenarioSpec, build_scenario
@@ -24,6 +25,9 @@ __all__ = [
     "RandomNegotiator",
     "SmartNegotiator",
     "StaticNegotiator",
+    "ChaosReport",
+    "ChaosSpec",
+    "run_chaos",
     "RunConfig",
     "run_workload",
     "RunStats",

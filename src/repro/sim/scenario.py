@@ -107,6 +107,10 @@ def build_scenario(
     mapper: QoSMapper | None = None,
     policy: ClassificationPolicy = ClassificationPolicy.SNS_PRIMARY,
     guarantee: GuaranteeType = GuaranteeType.GUARANTEED,
+    retry_policy=None,
+    health=None,
+    lease_ttl_s: "float | None" = None,
+    retry_seed: int = 0,
 ) -> Scenario:
     """Build the default deployment from ``spec``."""
     spec = spec or ScenarioSpec()
@@ -199,6 +203,10 @@ def build_scenario(
         clock=clock,
         policy=policy,
         guarantee=guarantee,
+        retry_policy=retry_policy,
+        health=health,
+        lease_ttl_s=lease_ttl_s,
+        retry_seed=retry_seed,
     )
     return Scenario(
         spec=spec,

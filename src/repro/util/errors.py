@@ -29,6 +29,11 @@ __all__ = [
     "CapacityError",
     "ServerError",
     "AdmissionError",
+    "ServerCrashedError",
+    "FaultError",
+    "TransientFaultError",
+    "FaultTimeoutError",
+    "LeaseError",
     "NegotiationError",
     "ProfileError",
     "OfferError",
@@ -128,6 +133,34 @@ class ServerError(ReproError):
 
 class AdmissionError(ServerError):
     """The admission controller rejected a stream."""
+
+
+class ServerCrashedError(ServerError):
+    """The server machine is down; no request can be served until it
+    restarts.  Retryable: the fleet-level retry policy may ride over a
+    short outage, and the circuit breaker quarantines repeat offenders."""
+
+
+# --------------------------------------------------------------------------
+# fault injection / resilience
+# --------------------------------------------------------------------------
+
+class FaultError(ReproError):
+    """Base class of errors raised by injected faults (chaos testing)."""
+
+
+class TransientFaultError(FaultError):
+    """An injected transient refusal: the operation would succeed if
+    simply retried.  The canonical retryable error."""
+
+
+class FaultTimeoutError(FaultError):
+    """An injected slow call exceeded the per-attempt timeout budget.
+    Retryable (the next attempt may be served promptly)."""
+
+
+class LeaseError(ReproError):
+    """A reservation lease was missing, duplicated, or already expired."""
 
 
 # --------------------------------------------------------------------------

@@ -2,10 +2,12 @@
 
 import pytest
 
+from repro.cmfs.server import StreamReservation
 from repro.core.classification import classify_space
 from repro.core.commitment import (
     Commitment,
     CommitmentState,
+    ReservationBundle,
     ResourceCommitter,
 )
 from repro.core.cost import default_cost_model
@@ -73,6 +75,75 @@ class TestTryCommit:
         with pytest.raises(ReservationError):
             committer.server("server-zz")
 
+    def test_failure_leaves_prior_reservations_untouched(
+        self, committer, best_offer, space, client, transport, topology, servers
+    ):
+        # An unrelated session already holds resources; a commitment that
+        # fails mid-way (flow reservation after stream admission) must
+        # restore the fleet and transport to exactly that prior state.
+        earlier = committer.try_commit(
+            best_offer, space, client.access_point, holder="earlier"
+        )
+        assert earlier is not None
+        before_streams = {
+            server_id: server.reservations()
+            for server_id, server in servers.items()
+        }
+        before_flows = transport.flow_count
+        before_bps = topology.total_reserved_bps()
+
+        topology.link("L-client").set_congestion(0.999)
+        assert committer.try_commit(
+            best_offer, space, client.access_point, holder="late"
+        ) is None
+        assert {
+            server_id: server.reservations()
+            for server_id, server in servers.items()
+        } == before_streams
+        assert transport.flow_count == before_flows
+        assert topology.total_reserved_bps() == before_bps
+
+
+class TestRollback:
+    def _ghost_stream(self):
+        return StreamReservation(
+            stream_id="server-ghost/stream-1",
+            server_id="server-ghost",
+            variant_id="v1",
+            rate_bps=1e6,
+            holder="s1",
+            sequence=1,
+        )
+
+    def test_unknown_server_does_not_abort_rollback(
+        self, committer, best_offer, space, client, transport, servers
+    ):
+        # A stream from a server since removed from the fleet must be
+        # skipped, not raise — else every reservation after it leaks.
+        bundle = committer.try_commit(
+            best_offer, space, client.access_point, holder="s1"
+        )
+        haunted = ReservationBundle(
+            offer=bundle.offer,
+            streams=(self._ghost_stream(), *bundle.streams),
+            flows=bundle.flows,
+            holder=bundle.holder,
+        )
+        committer.release(haunted)  # no raise
+        assert transport.flow_count == 0
+        assert sum(s.stream_count for s in servers.values()) == 0
+
+    def test_double_release_is_tolerated(
+        self, committer, best_offer, space, client, transport, servers
+    ):
+        bundle = committer.try_commit(
+            best_offer, space, client.access_point, holder="s1"
+        )
+        committer.release(bundle)
+        committer.release(bundle)  # everything already gone: no raise
+        assert transport.flow_count == 0
+        assert sum(s.stream_count for s in servers.values()) == 0
+
 
 class TestCommitment:
     def _commitment(self, committer, best_offer, space, client, period=60.0):
@@ -139,3 +210,41 @@ class TestCommitment:
             committer, best_offer, space, client, period=42.0
         )
         assert commitment.deadline == 42.0
+
+    def test_release_after_expiry_is_safe(
+        self, committer, best_offer, space, client, transport
+    ):
+        # The choicePeriod timer fired first; a late explicit teardown
+        # must neither raise nor release the bundle a second time.
+        commitment = self._commitment(committer, best_offer, space, client)
+        assert commitment.expire_check(now=100.0)
+        commitment.release()  # no raise
+        assert commitment.state is CommitmentState.EXPIRED
+        assert transport.flow_count == 0
+
+    def test_expiry_after_release_does_not_double_release(
+        self, committer, best_offer, space, client, transport, servers
+    ):
+        commitment = self._commitment(committer, best_offer, space, client)
+        commitment.confirm(now=1.0)
+        commitment.release()
+        # Another session now takes the capacity; a stale expiry check on
+        # the old commitment must not release anything again.
+        other = committer.try_commit(
+            best_offer, space, client.access_point, holder="s2"
+        )
+        assert other is not None
+        assert not commitment.expire_check(now=500.0)
+        assert transport.flow_count == len(other.flows)
+        assert sum(s.stream_count for s in servers.values()) == len(
+            other.streams
+        )
+
+    def test_reject_after_release_is_noop(
+        self, committer, best_offer, space, client
+    ):
+        commitment = self._commitment(committer, best_offer, space, client)
+        commitment.confirm(now=1.0)
+        commitment.release()
+        commitment.reject(now=2.0)  # no raise
+        assert commitment.state is CommitmentState.RELEASED

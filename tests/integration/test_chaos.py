@@ -1,0 +1,123 @@
+"""Acceptance: seeded chaos runs are deterministic, degrade gracefully,
+adapt to mid-playout failures, and never leak reservations."""
+
+import pytest
+
+from repro.faults import FaultPlan, RetryPolicy, parse_fault_spec
+from repro.sim import ChaosSpec, ScenarioSpec, run_chaos
+
+
+def acceptance_spec(seed=1):
+    """The ISSUE acceptance scenario: server-a crashes during the
+    step-5 commitments of the early requests, and the first client's
+    access link flaps mid-playout."""
+    return ChaosSpec(
+        scenario=ScenarioSpec(server_count=3),
+        plan=FaultPlan(
+            (
+                parse_fault_spec("crash:server-a:2:20"),
+                parse_fault_spec("flap:L-client-1:30:15"),
+            ),
+            seed=seed,
+        ),
+        seed=seed,
+        requests=4,
+        request_spacing_s=5.0,
+        retry=RetryPolicy(max_attempts=3),
+        lease_ttl_s=120.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def report():
+    result, _scenario = run_chaos(acceptance_spec())
+    return result
+
+
+class TestAcceptance:
+    def test_deterministic_replay(self, report):
+        again, _ = run_chaos(acceptance_spec())
+        assert again == report
+
+    def test_crash_degrades_to_alternate_server_offers(self, report):
+        # Requests arriving while server-a is down commit alternate-
+        # server offers instead of failing outright.
+        assert report.degraded_offers >= 1
+        assert report.succeeded + report.degraded_offers >= 3
+
+    def test_blocked_requests_carry_retry_hints(self, report):
+        assert len(report.retry_after_hints) == report.blocked
+        assert all(hint > 0 for hint in report.retry_after_hints)
+
+    def test_breaker_quarantines_the_crashed_server(self, report):
+        assert report.breaker_opens >= 1
+        assert report.breaker_skips >= 1
+
+    def test_midplayout_crash_triggers_adaptation(self, report):
+        # The §8 walk: the violation monitor sees the crashed server /
+        # flapped link and switches sessions to alternate offers.
+        assert report.interruptions >= 1
+        assert report.adaptations >= 1
+
+    def test_sessions_survive_the_faults(self, report):
+        assert report.completed_sessions >= 3
+        assert report.aborted_sessions == 0
+
+    def test_faults_actually_fired(self, report):
+        assert report.fault_stats["crashes"] == 1
+        assert report.fault_stats["restarts"] == 1
+        assert report.fault_stats["link_flaps"] == 1
+        assert report.fault_stats["link_heals"] == 1
+
+    def test_no_reservation_leaked_at_teardown(self, report):
+        assert report.clean_teardown
+        assert report.leaked_streams == 0
+        assert report.leaked_flows == 0
+        assert report.leaked_bps == 0.0
+
+    def test_report_renders(self, report):
+        text = report.render()
+        assert "chaos run report" in text
+        assert "leaks at teardown" in text
+        assert "none" in text
+
+
+class TestLostReleaseRecovery:
+    def test_leaked_releases_are_reaped(self):
+        # Swallow the stream releases of the first session's teardown
+        # (playout ends ~t=122); the lease reaper recovers the capacity
+        # once the fault window closes.
+        spec = ChaosSpec(
+            scenario=ScenarioSpec(server_count=3),
+            plan=FaultPlan(
+                (parse_fault_spec("lost-release:*:100:25"),), seed=5
+            ),
+            seed=5,
+            requests=2,
+            request_spacing_s=5.0,
+            lease_ttl_s=60.0,
+        )
+        report, _ = run_chaos(spec)
+        assert report.fault_stats["lost_releases"] >= 1
+        assert report.leases_reaped >= 1
+        assert report.clean_teardown
+
+
+class TestChaosSpecValidation:
+    def test_requires_requests(self):
+        from repro.util.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            ChaosSpec(requests=0)
+
+    def test_rejects_negative_spacing(self):
+        from repro.util.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            ChaosSpec(request_spacing_s=-1.0)
+
+    def test_unknown_profile_rejected(self):
+        from repro.util.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            run_chaos(ChaosSpec(profile_name="ghost"))

@@ -26,6 +26,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--negotiator", "magic"])
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.faults == []
+        assert args.seed == 1
+        assert args.requests == 4
+
+    def test_chaos_repeatable_faults(self):
+        args = build_parser().parse_args(
+            ["chaos", "--fault", "crash:server-a:5:10",
+             "--fault", "flap:L-client-1:20:5", "--seed", "7"]
+        )
+        assert args.faults == [
+            "crash:server-a:5:10", "flap:L-client-1:20:5"
+        ]
+        assert args.seed == 7
+
 
 class TestCommands:
     def test_experiments_lists_index(self, capsys):
@@ -67,6 +83,29 @@ class TestCommands:
                 ["sweep", "--negotiator", name, "--rate", "0.02",
                  "--horizon", "200"]
             ) == 0
+
+    def test_chaos_demo_plan_runs_clean(self, capsys):
+        assert main(["chaos"]) == 0
+        out = capsys.readouterr().out
+        assert "fault plan" in out
+        assert "chaos run report" in out
+        assert "leaks at teardown" in out
+
+    def test_chaos_explicit_fault(self, capsys):
+        assert main(
+            ["chaos", "--fault", "refuse:server-a:0:-:2",
+             "--requests", "2", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "transient-refusal on server-a" in out
+
+    def test_chaos_bad_fault_spec(self, capsys):
+        assert main(["chaos", "--fault", "meteor:server-a"]) == 2
+        assert "bad fault spec" in capsys.readouterr().err
+
+    def test_chaos_unknown_profile(self, capsys):
+        assert main(["chaos", "--profile", "ghost"]) == 2
+        assert "unknown profile" in capsys.readouterr().err
 
 
 class TestReport:
