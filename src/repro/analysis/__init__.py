@@ -1,0 +1,45 @@
+"""reprolint — project-invariant static analysis for the repro codebase.
+
+The paper's negotiation procedure is only reproducible if its machinery
+obeys a handful of structural invariants: step-5 commitment must pair
+every ``reserve`` with a ``release``/rollback path, the simulation must
+replay identically from a seed (no wall clock, no unseeded randomness),
+and failures must flow through the :mod:`repro.util.errors` taxonomy.
+This package enforces those invariants mechanically:
+
+* a rule registry (:mod:`repro.analysis.registry`) with one module per
+  rule under :mod:`repro.analysis.rules` (REP001..REP009);
+* a per-file visitor pipeline (:mod:`repro.analysis.engine`) producing
+  precise ``file:line`` findings with rule ids and fix hints;
+* text/JSON reporters (:mod:`repro.analysis.report`);
+* an allowlist/baseline file (:mod:`repro.analysis.baseline`) for
+  sanctioned exceptions, plus inline ``# reprolint: disable=REPnnn``
+  pragmas;
+* a CLI entry point: ``python -m repro lint [paths]`` (nonzero exit on
+  findings) and ``python -m repro typecheck`` (strict mypy gate over the
+  typed core, skipped gracefully when mypy is not installed).
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline, BaselineEntry
+from .context import ModuleContext
+from .engine import LintEngine, LintReport, iter_python_files
+from .findings import Finding
+from .registry import Rule, all_rules, get_rule
+from .report import render_json, render_text
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "iter_python_files",
+    "render_json",
+    "render_text",
+]

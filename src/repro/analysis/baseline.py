@@ -1,0 +1,122 @@
+"""Allowlist/baseline of sanctioned findings.
+
+The baseline file (default ``.reprolint.json`` at the repo root) lists
+findings that are accepted with a per-entry justification.  Entries are
+matched by *fingerprint* — rule id + file basename + offending source
+text — so they survive unrelated line moves but die with the code they
+sanctioned.  ``python -m repro lint --update-baseline`` regenerates the
+file from the current findings (placeholder justifications must then be
+filled in by hand; empty justifications are themselves reported).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from ..util.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .findings import Finding
+
+__all__ = ["BaselineEntry", "Baseline", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = ".reprolint.json"
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineEntry:
+    """One sanctioned finding."""
+
+    rule_id: str
+    fingerprint: str
+    path: str
+    justification: str
+
+    def to_dict(self) -> "dict[str, str]":
+        return {
+            "rule": self.rule_id,
+            "fingerprint": self.fingerprint,
+            "path": self.path,
+            "justification": self.justification,
+        }
+
+
+@dataclass(slots=True)
+class Baseline:
+    """The set of sanctioned findings, keyed by fingerprint."""
+
+    entries: "dict[str, BaselineEntry]" = field(default_factory=dict)
+    source_path: "str | None" = None
+
+    @classmethod
+    def load(cls, path: "Path | str | None") -> "Baseline":
+        """Read a baseline file; a missing path yields an empty baseline."""
+        if path is None:
+            return cls()
+        path = Path(path)
+        if not path.is_file():
+            return cls(source_path=str(path))
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise ValidationError(f"{path}: bad baseline JSON: {error}") from error
+        raw_entries = payload.get("entries", payload if isinstance(payload, list) else [])
+        if not isinstance(raw_entries, list):
+            raise ValidationError(f"{path}: baseline entries must be a list")
+        entries: dict[str, BaselineEntry] = {}
+        for raw in raw_entries:
+            if not isinstance(raw, dict) or "rule" not in raw or "fingerprint" not in raw:
+                raise ValidationError(
+                    f"{path}: each entry needs 'rule' and 'fingerprint' keys"
+                )
+            entry = BaselineEntry(
+                rule_id=str(raw["rule"]),
+                fingerprint=str(raw["fingerprint"]),
+                path=str(raw.get("path", "")),
+                justification=str(raw.get("justification", "")),
+            )
+            entries[entry.fingerprint] = entry
+        return cls(entries=entries, source_path=str(path))
+
+    def match(self, finding: "Finding") -> "BaselineEntry | None":
+        entry = self.entries.get(finding.fingerprint)
+        if entry is not None and entry.rule_id == finding.rule_id:
+            return entry
+        return None
+
+    def unjustified(self) -> "list[BaselineEntry]":
+        return [
+            entry
+            for entry in self.entries.values()
+            if not entry.justification.strip()
+        ]
+
+    @classmethod
+    def from_findings(cls, findings: "Iterable[Finding]") -> "Baseline":
+        entries: dict[str, BaselineEntry] = {}
+        for finding in findings:
+            entries[finding.fingerprint] = BaselineEntry(
+                rule_id=finding.rule_id,
+                fingerprint=finding.fingerprint,
+                path=finding.path,
+                justification="",
+            )
+        return cls(entries=entries)
+
+    def dump(self, path: "Path | str") -> None:
+        path = Path(path)
+        ordered = sorted(
+            self.entries.values(), key=lambda e: (e.path, e.rule_id, e.fingerprint)
+        )
+        payload = {
+            "comment": (
+                "reprolint baseline: sanctioned findings. Every entry "
+                "needs a human-written justification; empty ones are "
+                "reported by the linter."
+            ),
+            "entries": [entry.to_dict() for entry in ordered],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

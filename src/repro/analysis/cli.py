@@ -1,0 +1,149 @@
+"""CLI plumbing for ``python -m repro lint`` and ``... typecheck``.
+
+``lint`` runs the reprolint engine and exits nonzero on any unbaselined
+finding; ``typecheck`` runs the strict mypy gate over the typed core
+(:mod:`repro.core`, :mod:`repro.faults`, :mod:`repro.analysis`) and is
+skipped gracefully — exit 0 with a notice — when mypy is not installed,
+so the in-repo toolchain never hard-depends on it (CI installs it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from ..util.errors import ValidationError
+from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .engine import LintEngine
+from .registry import all_rules
+from .report import render_json, render_text
+
+__all__ = [
+    "add_lint_arguments",
+    "add_typecheck_arguments",
+    "run_lint",
+    "run_typecheck",
+    "TYPED_CORE_PACKAGES",
+]
+
+TYPED_CORE_PACKAGES = ("repro.core", "repro.faults", "repro.analysis")
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files/directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="fmt",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE_NAME,
+        help=f"baseline file of sanctioned findings "
+             f"(default: {DEFAULT_BASELINE_NAME}; missing file = empty)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0 "
+             "(justifications must then be filled in by hand)",
+    )
+    parser.add_argument(
+        "--select", action="append", default=[], metavar="REPnnn",
+        help="run only these rules (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", default=[], metavar="REPnnn",
+        help="skip these rules (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule registry and exit",
+    )
+    parser.add_argument(
+        "--no-hints", action="store_true", help="omit fix hints from output",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.name}: {rule.summary}")
+        return 0
+    try:
+        baseline = (
+            Baseline()
+            if args.no_baseline or args.update_baseline
+            else Baseline.load(args.baseline)
+        )
+        engine = LintEngine(
+            select=args.select or None,
+            ignore=args.ignore or None,
+            baseline=baseline,
+        )
+        report = engine.run(args.paths)
+    except ValidationError as error:
+        print(f"lint: {error}", file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        merged = Baseline.from_findings(report.findings)
+        previous = Baseline.load(args.baseline)
+        for fingerprint, entry in merged.entries.items():
+            kept = previous.entries.get(fingerprint)
+            if kept is not None and kept.justification.strip():
+                merged.entries[fingerprint] = kept
+        merged.dump(args.baseline)
+        print(
+            f"wrote {len(merged.entries)} entr"
+            f"{'y' if len(merged.entries) == 1 else 'ies'} to {args.baseline}"
+        )
+        return 0
+    if args.fmt == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, show_hints=not args.no_hints))
+    return report.exit_code()
+
+
+# -- mypy gate -------------------------------------------------------------------
+
+
+def add_typecheck_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "packages", nargs="*", default=list(TYPED_CORE_PACKAGES),
+        help=f"packages to check (default: {' '.join(TYPED_CORE_PACKAGES)})",
+    )
+    parser.add_argument(
+        "--require-mypy", action="store_true",
+        help="fail (exit 3) instead of skipping when mypy is missing",
+    )
+
+
+def mypy_available() -> bool:
+    return importlib.util.find_spec("mypy") is not None
+
+
+def run_typecheck(args: argparse.Namespace) -> int:
+    if not mypy_available():
+        message = (
+            "typecheck: mypy is not installed; the typed-core gate was "
+            "skipped (CI runs it — install mypy to run it locally)"
+        )
+        print(message, file=sys.stderr)
+        return 3 if args.require_mypy else 0
+    src = Path(__file__).resolve().parents[2]
+    command = [
+        sys.executable, "-m", "mypy",
+        *(part for package in args.packages for part in ("-p", package)),
+    ]
+    completed = subprocess.run(  # noqa: S603 - fixed argv, no shell
+        command, cwd=src.parent, check=False
+    )
+    return completed.returncode

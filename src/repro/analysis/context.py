@@ -1,0 +1,139 @@
+"""Per-file analysis context shared by every rule.
+
+Parses the file once, resolves its dotted module name (so rules can
+scope themselves to ``repro.core`` etc.), and extracts the inline
+``# reprolint:`` pragmas:
+
+* ``# reprolint: disable=REP001[,REP003]`` — suppress those rules on
+  that line;
+* ``# reprolint: backstop -- <reason>`` — sanction a broad exception
+  handler (REP003) with a mandatory justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..util.errors import ValidationError
+
+__all__ = ["ModuleContext", "parse_pragmas"]
+
+_PRAGMA_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable|backstop)"
+    r"(?:\s*=\s*(?P<rules>[A-Z0-9,\s]+?))?"
+    r"(?:\s*--\s*(?P<reason>.*))?\s*$"
+)
+
+
+def parse_pragmas(lines: "list[str]") -> "dict[int, dict[str, object]]":
+    """Map 1-based line numbers to their pragma, if any."""
+    pragmas: dict[int, dict[str, object]] = {}
+    for number, text in enumerate(lines, start=1):
+        if "reprolint:" not in text:
+            continue
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        pragmas[number] = {
+            "kind": match.group("kind"),
+            "rules": frozenset(
+                rule.strip() for rule in rules.split(",") if rule.strip()
+            )
+            if rules
+            else frozenset(),
+            "reason": (match.group("reason") or "").strip(),
+        }
+    return pragmas
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module name, resolved from the path's package layout.
+
+    Walks up through directories that contain ``__init__.py`` so
+    ``src/repro/core/offers.py`` becomes ``repro.core.offers``.  Files
+    outside any package keep their stem (fixtures, scripts).
+    """
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").is_file():
+        parts.insert(0, parent.name)
+        if parent.parent == parent:
+            break
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+@dataclass(slots=True)
+class ModuleContext:
+    """Everything a rule needs to inspect one file."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    lines: "list[str]" = field(default_factory=list)
+    pragmas: "dict[int, dict[str, object]]" = field(default_factory=dict)
+
+    @classmethod
+    def from_source(
+        cls, source: str, *, path: str = "<string>", module: "str | None" = None
+    ) -> "ModuleContext":
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            raise ValidationError(f"{path}: not parseable: {error}") from error
+        lines = source.splitlines()
+        return cls(
+            path=path,
+            module=module if module is not None else Path(path).stem,
+            source=source,
+            tree=tree,
+            lines=lines,
+            pragmas=parse_pragmas(lines),
+        )
+
+    @classmethod
+    def from_path(cls, path: "Path | str") -> "ModuleContext":
+        path = Path(path)
+        source = path.read_text(encoding="utf-8")
+        return cls.from_source(
+            source, path=str(path), module=_module_name(path)
+        )
+
+    # -- helpers used by rules -----------------------------------------------------
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def pragma_at(self, line: int) -> "dict[str, object] | None":
+        return self.pragmas.get(line)
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        """Is ``rule_id`` disabled on ``line`` by an inline pragma?"""
+        pragma = self.pragmas.get(line)
+        if pragma is None or pragma["kind"] != "disable":
+            return False
+        rules = pragma["rules"]
+        return not rules or rule_id in rules  # bare disable hits every rule
+
+    def in_package(self, *segments: str) -> bool:
+        """Does the file live under the given package path?
+
+        Matches either the resolved dotted module name or consecutive
+        path segments, so fixture trees laid out as ``.../repro/core/``
+        scope the same way the real package does.
+        """
+        dotted = ".".join(segments)
+        if self.module == dotted or self.module.startswith(dotted + "."):
+            return True
+        parts = Path(self.path).parts
+        n = len(segments)
+        return any(
+            parts[i : i + n] == segments for i in range(len(parts) - n + 1)
+        )

@@ -1,0 +1,139 @@
+"""The lint engine: file collection, rule pipeline, filtering.
+
+One :class:`ModuleContext` is built per file (one parse), every selected
+rule runs over it, and the resulting findings are filtered through the
+inline pragmas and the baseline.  Files that fail to parse are reported
+as engine errors rather than aborting the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from ..util.errors import ValidationError
+from .baseline import Baseline
+from .context import ModuleContext
+from .findings import Finding
+from .registry import Rule, all_rules
+
+__all__ = ["LintEngine", "LintReport", "iter_python_files"]
+
+_SKIP_DIRS = {
+    ".git",
+    "__pycache__",
+    ".mypy_cache",
+    ".pytest_cache",
+    "build",
+    "dist",
+    ".eggs",
+}
+
+
+def iter_python_files(paths: "Sequence[Path | str]") -> "Iterator[Path]":
+    """Yield every ``.py`` file under the given files/directories."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not _SKIP_DIRS.intersection(p.parts)
+            )
+        elif path.is_file():
+            candidates = [path]
+        else:
+            raise ValidationError(f"no such file or directory: {path}")
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+@dataclass(slots=True)
+class LintReport:
+    """Outcome of one engine run."""
+
+    findings: "list[Finding]" = field(default_factory=list)
+    suppressed: int = 0
+    baselined: int = 0
+    files_checked: int = 0
+    errors: "list[str]" = field(default_factory=list)
+    unjustified_baseline: "list[str]" = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.errors and not self.unjustified_baseline
+
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+
+class LintEngine:
+    """Run a set of rules over a set of files."""
+
+    def __init__(
+        self,
+        *,
+        rules: "Sequence[Rule] | None" = None,
+        select: "Sequence[str] | None" = None,
+        ignore: "Sequence[str] | None" = None,
+        baseline: "Baseline | None" = None,
+    ) -> None:
+        available = list(rules) if rules is not None else all_rules()
+        known = {r.rule_id for r in available}
+        for rule_id in list(select or []) + list(ignore or []):
+            if rule_id not in known:
+                raise ValidationError(f"unknown rule id {rule_id!r}")
+        if select:
+            wanted = set(select)
+            available = [r for r in available if r.rule_id in wanted]
+        if ignore:
+            dropped = set(ignore)
+            available = [r for r in available if r.rule_id not in dropped]
+        self.rules = available
+        self.baseline = baseline if baseline is not None else Baseline()
+
+    # -- single file ---------------------------------------------------------------
+
+    def check_context(self, ctx: ModuleContext) -> "list[Finding]":
+        """Raw findings for one parsed file (no baseline filtering)."""
+        findings: list[Finding] = []
+        for rule in self.rules:
+            findings.extend(rule.run(ctx))
+        return sorted(findings, key=Finding.sort_key)
+
+    def check_source(
+        self, source: str, *, path: str = "<string>", module: "str | None" = None
+    ) -> "list[Finding]":
+        return self.check_context(
+            ModuleContext.from_source(source, path=path, module=module)
+        )
+
+    # -- full run ------------------------------------------------------------------
+
+    def run(self, paths: "Sequence[Path | str]") -> LintReport:
+        report = LintReport()
+        for path in iter_python_files(paths):
+            try:
+                ctx = ModuleContext.from_path(path)
+            except (ValidationError, OSError, UnicodeDecodeError) as error:
+                report.errors.append(str(error))
+                continue
+            report.files_checked += 1
+            for finding in self.check_context(ctx):
+                if ctx.suppressed(finding.rule_id, finding.line):
+                    report.suppressed += 1
+                elif self.baseline.match(finding) is not None:
+                    report.baselined += 1
+                else:
+                    report.findings.append(finding)
+        report.findings.sort(key=Finding.sort_key)
+        report.unjustified_baseline = [
+            f"{entry.path}: baseline entry {entry.fingerprint} ({entry.rule_id}) "
+            "has no justification"
+            for entry in self.baseline.unjustified()
+        ]
+        return report

@@ -1,0 +1,57 @@
+"""Lint findings: what a rule reports and how findings are identified.
+
+A finding pins a rule violation to a ``file:line`` location, carries the
+human-facing message and fix hint, and exposes a *fingerprint* — a
+stable hash of (rule id, file name, offending source text) used by the
+baseline so sanctioned findings survive unrelated edits that only move
+line numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    column: int
+    message: str
+    hint: str = ""
+    source_line: str = field(default="", compare=False)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}"
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching.
+
+        Deliberately excludes the line *number* (entries must survive
+        edits elsewhere in the file) but includes the stripped source
+        text, so the baseline entry dies with the code it sanctioned.
+        """
+        basename = self.path.replace("\\", "/").rsplit("/", 1)[-1]
+        material = "\x00".join(
+            (self.rule_id, basename, self.source_line.strip())
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.column, self.rule_id)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "hint": self.hint,
+            "fingerprint": self.fingerprint,
+        }

@@ -1,0 +1,93 @@
+"""Rule registry.
+
+Each rule is a function ``(ModuleContext) -> Iterable[Finding]``
+registered under a stable id via the :func:`rule` decorator.  The
+decorator records the rule's summary and fix hint so reporters and
+``lint --list-rules`` render them without importing anything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+from ..util.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import ModuleContext
+    from .findings import Finding
+
+__all__ = ["Rule", "rule", "all_rules", "get_rule", "make_finding"]
+
+CheckFn = Callable[["ModuleContext"], Iterable["Finding"]]
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """One registered invariant check."""
+
+    rule_id: str
+    name: str
+    summary: str
+    hint: str
+    check: CheckFn
+
+    def run(self, ctx: "ModuleContext") -> "list[Finding]":
+        return list(self.check(ctx))
+
+
+_REGISTRY: "dict[str, Rule]" = {}
+
+
+def rule(rule_id: str, name: str, summary: str, hint: str) -> "Callable[[CheckFn], CheckFn]":
+    """Register ``check`` under ``rule_id``; returns it unchanged."""
+
+    def decorate(check: CheckFn) -> CheckFn:
+        if rule_id in _REGISTRY:
+            raise ValidationError(f"duplicate rule id {rule_id!r}")
+        _REGISTRY[rule_id] = Rule(
+            rule_id=rule_id, name=name, summary=summary, hint=hint, check=check
+        )
+        return check
+
+    return decorate
+
+
+def _ensure_loaded() -> None:
+    from . import rules  # noqa: F401  (importing registers the built-ins)
+
+
+def all_rules() -> "list[Rule]":
+    _ensure_loaded()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise ValidationError(f"unknown rule id {rule_id!r}") from None
+
+
+def make_finding(
+    ctx: "ModuleContext",
+    rule_id: str,
+    line: int,
+    column: int,
+    message: str,
+) -> "Finding":
+    """Build a finding for ``rule_id``, pulling hint + source text."""
+    from .findings import Finding
+
+    _ensure_loaded()
+    registered = _REGISTRY.get(rule_id)
+    return Finding(
+        rule_id=rule_id,
+        path=ctx.path,
+        line=line,
+        column=column,
+        message=message,
+        hint=registered.hint if registered is not None else "",
+        source_line=ctx.line_text(line),
+    )

@@ -1,0 +1,53 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import LintReport
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(report: "LintReport", *, show_hints: bool = True) -> str:
+    """GCC-style ``file:line:col: RULE message`` lines plus a summary."""
+    lines: list[str] = []
+    for finding in report.findings:
+        lines.append(
+            f"{finding.location()}: {finding.rule_id} {finding.message}"
+        )
+        if show_hints and finding.hint:
+            lines.append(f"    hint: {finding.hint}")
+    for error in report.errors:
+        lines.append(f"error: {error}")
+    for warning in report.unjustified_baseline:
+        lines.append(f"baseline: {warning}")
+    count = len(report.findings)
+    summary = (
+        f"{count} finding{'s' if count != 1 else ''} "
+        f"in {report.files_checked} file{'s' if report.files_checked != 1 else ''}"
+    )
+    extras = []
+    if report.suppressed:
+        extras.append(f"{report.suppressed} suppressed inline")
+    if report.baselined:
+        extras.append(f"{report.baselined} baselined")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: "LintReport") -> str:
+    payload = {
+        "findings": [finding.to_dict() for finding in report.findings],
+        "errors": list(report.errors),
+        "unjustified_baseline": list(report.unjustified_baseline),
+        "files_checked": report.files_checked,
+        "suppressed": report.suppressed,
+        "baselined": report.baselined,
+        "clean": report.clean,
+    }
+    return json.dumps(payload, indent=2)

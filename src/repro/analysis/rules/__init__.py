@@ -1,0 +1,43 @@
+"""Built-in reprolint rules.
+
+Importing this package registers every rule with the registry; each
+module ships exactly one rule:
+
+========  ==========================================================
+REP001    determinism: no wall clock / sleep / unseeded randomness
+REP002    reserve/release pairing on the step-5 commitment path
+REP003    error-taxonomy discipline (no bare/broad except, repro errors)
+REP004    no exact float equality on QoS/cost values
+REP005    no mutable default arguments
+REP006    no late-binding loop-variable capture in callbacks
+REP007    paper-constant drift (literals duplicating named anchors)
+REP008    offer immutability (Offer dataclasses must be frozen)
+REP009    typed core: full annotations in core/faults/analysis
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401  (imports register the rules)
+    closures,
+    constants,
+    defaults,
+    determinism,
+    floats,
+    immutability,
+    pairing,
+    taxonomy,
+    typedcore,
+)
+
+__all__ = [
+    "closures",
+    "constants",
+    "defaults",
+    "determinism",
+    "floats",
+    "immutability",
+    "pairing",
+    "taxonomy",
+    "typedcore",
+]

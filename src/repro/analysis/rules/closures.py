@@ -1,0 +1,133 @@
+"""REP006 — event-loop callback hygiene: no late-binding loop capture.
+
+A lambda (or nested ``def``) created inside a loop and handed to the
+scheduler closes over the loop *variable*, not its value at creation
+time — by the time the event loop fires the callback, every closure
+sees the final iteration.  This is exactly the class of bug the
+``lambda s=server, sp=spec:`` default-binding idiom in
+``core/commitment.py`` exists to prevent.
+
+The rule flags closures inside loops (or comprehensions) that read an
+enclosing loop variable without binding it.  Closures consumed eagerly
+within the iteration — ``key=`` lambdas passed to ``sorted``/``sort``/
+``min``/``max`` and friends — are exempt: they never outlive the loop
+body.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from ..astutil import (
+    assigned_names,
+    build_parent_map,
+    dotted_name,
+    loop_target_names,
+)
+from ..registry import make_finding, rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..context import ModuleContext
+    from ..findings import Finding
+
+RULE_ID = "REP006"
+
+# Callables that consume a function argument before returning: a closure
+# handed to one of these cannot observe a later iteration.
+_EAGER_CONSUMERS = {
+    "sorted", "min", "max", "sum", "any", "all", "map", "filter",
+    "sort", "index", "remove",
+}
+
+
+def _free_loads(closure: "ast.Lambda | ast.FunctionDef | ast.AsyncFunctionDef") -> "set[str]":
+    args = closure.args
+    bound = {
+        a.arg
+        for a in (
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *( [args.vararg] if args.vararg else [] ),
+            *( [args.kwarg] if args.kwarg else [] ),
+        )
+    }
+    body = closure.body if isinstance(closure.body, list) else [closure.body]
+    loads: set[str] = set()
+    locals_: set[str] = set(bound)
+    for stmt in body:
+        locals_ |= assigned_names(stmt)
+    for stmt in body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                loads.add(sub.id)
+    return loads - locals_
+
+
+def _is_eagerly_consumed(
+    closure: ast.AST, parents: "dict[ast.AST, ast.AST]"
+) -> bool:
+    parent = parents.get(closure)
+    if isinstance(parent, ast.keyword):
+        parent = parents.get(parent)
+    if isinstance(parent, ast.Call):
+        name = dotted_name(parent.func) or ""
+        leaf = name.rsplit(".", 1)[-1]
+        return leaf in _EAGER_CONSUMERS
+    return False
+
+
+def _enclosing_loop_vars(
+    closure: ast.AST, parents: "dict[ast.AST, ast.AST]"
+) -> "set[str]":
+    """Loop variables of every for-loop/comprehension around ``closure``,
+    stopping at the nearest enclosing function boundary (a new call frame
+    re-binds per call, so capture across it is not late-binding)."""
+    names: set[str] = set()
+    child: ast.AST = closure
+    node = parents.get(closure)
+    while node is not None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            break
+        if isinstance(node, (ast.For, ast.AsyncFor)) and child is not node.target:
+            names |= loop_target_names(node.target)
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            for comp in node.generators:
+                names |= loop_target_names(comp.target)
+        child, node = node, parents.get(node)
+    return names
+
+
+@rule(
+    RULE_ID,
+    "callback-hygiene",
+    "no late-binding loop-variable capture in scheduler callbacks",
+    "bind the loop variable as a default argument "
+    "(`lambda s=server: ...`) or build the callback via a helper "
+    "function so each closure captures the iteration's value",
+)
+def check(ctx: "ModuleContext") -> "Iterator[Finding]":
+    parents = build_parent_map(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        loop_vars = _enclosing_loop_vars(node, parents)
+        if not loop_vars:
+            continue
+        captured = sorted(_free_loads(node) & loop_vars)
+        if not captured:
+            continue
+        if _is_eagerly_consumed(node, parents):
+            continue
+        label = (
+            "lambda"
+            if isinstance(node, ast.Lambda)
+            else f"nested function `{node.name}`"
+        )
+        yield make_finding(
+            ctx, RULE_ID, node.lineno, node.col_offset,
+            f"{label} captures loop variable{'s' if len(captured) > 1 else ''} "
+            f"{', '.join(captured)} late — every callback will see the "
+            "final iteration",
+        )

@@ -1,0 +1,60 @@
+"""REP007 — paper-constant drift.
+
+The paper's named numeric anchors (Figure 2 resolutions etc.) live in
+exactly one place — ``repro/documents/media.py`` and ``repro/paperdata.py``.
+A bare literal duplicating one of those values elsewhere drifts silently
+when the canonical definition is corrected; it must reference the symbol
+instead.  Only *distinctive* values are guarded (1920, 720): small round
+numbers like 25 or 60 are far too common to police by value.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from ...documents.media import HDTV_RESOLUTION, TV_RESOLUTION
+from ..registry import make_finding, rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..context import ModuleContext
+    from ..findings import Finding
+
+RULE_ID = "REP007"
+
+# value -> the symbol that owns it (keyed by the symbols themselves, so
+# this table can never drift from the canonical definitions either)
+GUARDED_CONSTANTS = {
+    int(HDTV_RESOLUTION): "repro.documents.media.HDTV_RESOLUTION",
+    int(TV_RESOLUTION): "repro.documents.media.TV_RESOLUTION",
+}
+
+# The canonical definition sites.
+_EXEMPT_BASENAMES = {"media.py", "paperdata.py"}
+
+
+@rule(
+    RULE_ID,
+    "paper-constant-drift",
+    "no bare literals duplicating named paper constants",
+    "import the named anchor (e.g. HDTV_RESOLUTION from "
+    "repro.documents.media) instead of repeating its value",
+)
+def check(ctx: "ModuleContext") -> "Iterator[Finding]":
+    if Path(ctx.path).name in _EXEMPT_BASENAMES:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Constant):
+            continue
+        value = node.value
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        if isinstance(value, float) and not value.is_integer():
+            continue
+        symbol = GUARDED_CONSTANTS.get(int(value))
+        if symbol is not None:
+            yield make_finding(
+                ctx, RULE_ID, node.lineno, node.col_offset,
+                f"literal {value!r} duplicates {symbol}",
+            )

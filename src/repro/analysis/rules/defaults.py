@@ -1,0 +1,77 @@
+"""REP005 — no mutable default arguments.
+
+A mutable default is evaluated once at ``def`` time and shared by every
+call; profile editing and offer classification pass dicts/lists around
+constantly, so one aliased default silently couples unrelated
+negotiations.  Use ``None`` plus an in-body default, or
+``dataclasses.field(default_factory=...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from ..astutil import dotted_name
+from ..registry import make_finding, rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..context import ModuleContext
+    from ..findings import Finding
+
+RULE_ID = "REP005"
+
+_MUTABLE_CALLS = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "collections.defaultdict",
+    "defaultdict",
+    "collections.deque",
+    "deque",
+    "collections.OrderedDict",
+    "OrderedDict",
+    "collections.Counter",
+    "Counter",
+}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(
+        node,
+        (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@rule(
+    RULE_ID,
+    "mutable-defaults",
+    "no mutable default argument values",
+    "default to None and create the container in the body, or use "
+    "dataclasses.field(default_factory=...)",
+)
+def check(ctx: "ModuleContext") -> "Iterator[Finding]":
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                label = (
+                    f"`{node.name}`"
+                    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    else "lambda"
+                )
+                yield make_finding(
+                    ctx, RULE_ID, default.lineno, default.col_offset,
+                    f"mutable default argument in {label} is shared "
+                    "across calls",
+                )

@@ -1,0 +1,62 @@
+"""REP004 — no exact float equality on QoS/cost values.
+
+QoS scale values, costs and importance factors round-trip through
+arithmetic (interpolation, unit conversion, serialisation); comparing
+them with ``==`` silently misses by one ulp.  Comparisons against a
+non-zero float literal or against ``float(...)`` must use
+``math.isclose``/``np.isclose`` instead.  Comparison to exactly ``0.0``
+stays allowed: it is the idiomatic check for a value that was *assigned*
+zero (a sentinel), not computed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from ..astutil import dotted_name
+from ..registry import make_finding, rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..context import ModuleContext
+    from ..findings import Finding
+
+RULE_ID = "REP004"
+
+_FLOAT_CASTS = {"float", "np.float64", "numpy.float64", "np.float32", "numpy.float32"}
+
+
+def _is_float_operand(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float) and node.value != 0.0
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name in _FLOAT_CASTS
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_operand(node.operand)
+    return False
+
+
+@rule(
+    RULE_ID,
+    "float-equality",
+    "no exact == / != against float values (QoS, cost, importance)",
+    "use math.isclose / np.isclose with an explicit tolerance; exact "
+    "comparison to 0.0 (an assigned sentinel) is allowed",
+)
+def check(ctx: "ModuleContext") -> "Iterator[Finding]":
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[index], operands[index + 1]
+            if _is_float_operand(left) or _is_float_operand(right):
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                yield make_finding(
+                    ctx, RULE_ID, node.lineno, node.col_offset,
+                    f"exact float `{symbol}` comparison",
+                )
+                break  # one finding per comparison chain

@@ -1,0 +1,66 @@
+"""REP008 — offer immutability.
+
+Offers flow through the classification pipeline, the sorted offer list,
+the commitment walk and the adaptation switch — often held by several
+data structures at once.  A mutable offer mutated in one place corrupts
+every other holder's view, so every ``*Offer`` dataclass must be
+``@dataclass(frozen=True)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from ..astutil import decorator_name
+from ..registry import make_finding, rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..context import ModuleContext
+    from ..findings import Finding
+
+RULE_ID = "REP008"
+
+_DATACLASS_NAMES = {"dataclass", "dataclasses.dataclass"}
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> "ast.expr | None":
+    for decorator in node.decorator_list:
+        if decorator_name(decorator) in _DATACLASS_NAMES:
+            return decorator
+    return None
+
+
+def _is_frozen(decorator: ast.expr) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False  # bare @dataclass: frozen defaults to False
+    for keyword in decorator.keywords:
+        if keyword.arg == "frozen":
+            return (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            )
+    return False
+
+
+@rule(
+    RULE_ID,
+    "offer-immutability",
+    "dataclasses on the offer path must be frozen",
+    "declare the class @dataclass(frozen=True) (add slots=True while "
+    "you are there); use dataclasses.replace for edits",
+)
+def check(ctx: "ModuleContext") -> "Iterator[Finding]":
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if "Offer" not in node.name:
+            continue
+        decorator = _dataclass_decorator(node)
+        if decorator is None:
+            continue  # hand-written classes manage their own invariants
+        if not _is_frozen(decorator):
+            yield make_finding(
+                ctx, RULE_ID, node.lineno, node.col_offset,
+                f"offer dataclass `{node.name}` is not frozen",
+            )

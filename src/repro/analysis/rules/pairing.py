@@ -1,0 +1,103 @@
+"""REP002 — reserve/release pairing on the commitment path.
+
+Step 5 of the paper is all-or-nothing: a half-reserved offer must never
+linger.  Any function that *orchestrates* resource acquisition — calls
+``.reserve(...)`` or ``.admit(...)`` on some other object — must wrap
+those calls in a ``try`` whose handler or ``finally`` reaches a
+``release``/``rollback`` call, so every partial acquisition has a
+teardown path.
+
+Leaf primitives are exempt: a method *named* ``reserve``/``admit`` that
+delegates to a lower layer is itself the paired primitive (its caller
+holds the rollback duty) only when it performs a single acquisition; the
+moment it loops over several, it too must roll back.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from ..astutil import dotted_name
+from ..registry import make_finding, rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..context import ModuleContext
+    from ..findings import Finding
+
+RULE_ID = "REP002"
+
+_ACQUIRE_ATTRS = {"reserve", "admit"}
+_TEARDOWN_MARKERS = ("release", "rollback", "teardown")
+
+
+def _acquire_calls(node: ast.AST) -> "list[ast.Call]":
+    calls = []
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr in _ACQUIRE_ATTRS
+        ):
+            calls.append(sub)
+    return calls
+
+
+def _has_teardown_call(nodes: "list[ast.stmt]") -> bool:
+    for stmt in nodes:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Call):
+                name = dotted_name(sub.func) or ""
+                leaf = name.rsplit(".", 1)[-1].lower()
+                if any(marker in leaf for marker in _TEARDOWN_MARKERS):
+                    return True
+    return False
+
+
+def _covered_calls(func: ast.AST) -> "set[ast.Call]":
+    """Acquisition calls protected by a try with a teardown path."""
+    covered: set[ast.Call] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Try):
+            continue
+        if not (
+            _has_teardown_call([h for handler in node.handlers for h in handler.body])
+            or _has_teardown_call(node.finalbody)
+        ):
+            continue
+        for stmt in node.body:
+            covered.update(_acquire_calls(stmt))
+    return covered
+
+
+@rule(
+    RULE_ID,
+    "reserve-release-pairing",
+    "every function acquiring reservations must have a rollback path",
+    "wrap the reserve/admit calls in try/except (or finally) that "
+    "releases or rolls back everything already taken, or sanction the "
+    "site with `# reprolint: disable=REP002 -- <why no rollback is needed>`",
+)
+def check(ctx: "ModuleContext") -> "Iterator[Finding]":
+    functions = [
+        node
+        for node in ast.walk(ctx.tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    seen: set[ast.Call] = set()
+    for func in functions:
+        calls = [c for c in _acquire_calls(func) if c not in seen]
+        seen.update(calls)
+        if not calls:
+            continue
+        # Leaf primitive with exactly one acquisition: caller pairs it.
+        if func.name in _ACQUIRE_ATTRS and len(calls) == 1:
+            continue
+        covered = _covered_calls(func)
+        for call in calls:
+            if call not in covered:
+                yield make_finding(
+                    ctx, RULE_ID, call.lineno, call.col_offset,
+                    f"`.{call.func.attr}(...)` in `{func.name}` has no "  # type: ignore[attr-defined]
+                    "release/rollback handler on its failure path",
+                )

@@ -1,0 +1,122 @@
+"""REP003 — error-taxonomy discipline.
+
+The library promises "catch :class:`repro.util.errors.ReproError` at
+your outermost boundary".  That promise dies the moment library code
+raises builtins or swallows everything:
+
+* no bare ``except:`` anywhere;
+* no ``except Exception``/``except BaseException`` unless the handler is
+  a sanctioned backstop, marked ``# reprolint: backstop -- <reason>``
+  on the ``except`` line (the justification is mandatory);
+* ``raise`` only :mod:`repro.util.errors` types — raising builtin
+  exceptions (``ValueError``, ``RuntimeError``, ...) is flagged.
+  ``NotImplementedError`` and ``AssertionError`` stay allowed (abstract
+  hooks and invariant checks are not protocol outcomes).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from ..astutil import dotted_name
+from ..registry import make_finding, rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..context import ModuleContext
+    from ..findings import Finding
+
+RULE_ID = "REP003"
+
+_BROAD = {"Exception", "BaseException"}
+
+_FORBIDDEN_RAISES = {
+    "Exception",
+    "BaseException",
+    "ValueError",
+    "TypeError",
+    "KeyError",
+    "IndexError",
+    "LookupError",
+    "AttributeError",
+    "RuntimeError",
+    "ArithmeticError",
+    "ZeroDivisionError",
+    "OverflowError",
+    "OSError",
+    "IOError",
+    "StopIteration",
+    "StopAsyncIteration",
+    "SystemError",
+    "BufferError",
+    "EOFError",
+    "MemoryError",
+    "NameError",
+    "ReferenceError",
+    "UnboundLocalError",
+}
+
+
+def _exception_names(node: "ast.expr | None") -> "list[str]":
+    if node is None:
+        return []
+    if isinstance(node, ast.Tuple):
+        names = []
+        for element in node.elts:
+            name = dotted_name(element)
+            if name is not None:
+                names.append(name)
+        return names
+    name = dotted_name(node)
+    return [name] if name is not None else []
+
+
+@rule(
+    RULE_ID,
+    "error-taxonomy",
+    "no bare/broad excepts; raise only repro.util.errors types",
+    "catch the narrowest repro error types that can occur; mark a "
+    "deliberate outermost backstop with `# reprolint: backstop -- "
+    "<reason>`; raise ValidationError & friends instead of builtins",
+)
+def check(ctx: "ModuleContext") -> "Iterator[Finding]":
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ExceptHandler):
+            if node.type is None:
+                yield make_finding(
+                    ctx, RULE_ID, node.lineno, node.col_offset,
+                    "bare `except:` swallows every error including "
+                    "KeyboardInterrupt",
+                )
+                continue
+            broad = [
+                name
+                for name in _exception_names(node.type)
+                if name in _BROAD
+            ]
+            if not broad:
+                continue
+            pragma = ctx.pragma_at(node.lineno)
+            if pragma is not None and pragma["kind"] == "backstop":
+                if not pragma["reason"]:
+                    yield make_finding(
+                        ctx, RULE_ID, node.lineno, node.col_offset,
+                        "backstop marker has no justification "
+                        "(`# reprolint: backstop -- <reason>`)",
+                    )
+                continue
+            yield make_finding(
+                ctx, RULE_ID, node.lineno, node.col_offset,
+                f"broad `except {broad[0]}` outside a sanctioned backstop",
+            )
+        elif isinstance(node, ast.Raise):
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            name = dotted_name(exc) if exc is not None else None
+            if name is not None and name in _FORBIDDEN_RAISES:
+                yield make_finding(
+                    ctx, RULE_ID, node.lineno, node.col_offset,
+                    f"raises builtin `{name}` instead of a "
+                    "repro.util.errors type",
+                )

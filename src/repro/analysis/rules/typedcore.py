@@ -1,0 +1,77 @@
+"""REP009 — typed core: full annotations in core/faults/analysis.
+
+The strict mypy gate (``python -m repro typecheck``) only proves what
+the annotations state, so the typed core — :mod:`repro.core`,
+:mod:`repro.faults` and :mod:`repro.analysis` — must annotate every
+parameter and return type on module- and class-level functions.  Nested
+helper functions are exempt (mypy infers them from the enclosing
+scope), as are ``*args``/``**kwargs`` pass-throughs on decorators.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from ..astutil import decorator_name
+from ..registry import make_finding, rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..context import ModuleContext
+    from ..findings import Finding
+
+RULE_ID = "REP009"
+
+_SCOPES = (("repro", "core"), ("repro", "faults"), ("repro", "analysis"))
+_SELF_NAMES = {"self", "cls"}
+
+
+def _missing_annotations(node: "ast.FunctionDef | ast.AsyncFunctionDef", *, method: bool) -> "list[str]":
+    missing: list[str] = []
+    args = node.args
+    positional = [*args.posonlyargs, *args.args]
+    if method and positional and positional[0].arg in _SELF_NAMES:
+        is_static = any(
+            decorator_name(d) == "staticmethod" for d in node.decorator_list
+        )
+        if not is_static:
+            positional = positional[1:]
+    for arg in [*positional, *args.kwonlyargs]:
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    for arg in (args.vararg, args.kwarg):
+        if arg is not None and arg.annotation is None:
+            missing.append(("*" if arg is args.vararg else "**") + arg.arg)
+    if node.returns is None:
+        missing.append("return")
+    return missing
+
+
+def _walk_defs(
+    body: "list[ast.stmt]", *, method: bool
+) -> "Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, bool]]":
+    """Module- and class-level defs only; nested defs are skipped."""
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield stmt, method
+        elif isinstance(stmt, ast.ClassDef):
+            yield from _walk_defs(stmt.body, method=True)
+
+
+@rule(
+    RULE_ID,
+    "typed-core",
+    "core/faults/analysis functions must be fully annotated",
+    "annotate every parameter and the return type so the strict mypy "
+    "gate (python -m repro typecheck) can verify the function",
+)
+def check(ctx: "ModuleContext") -> "Iterator[Finding]":
+    if not any(ctx.in_package(*scope) for scope in _SCOPES):
+        return
+    for node, method in _walk_defs(ctx.tree.body, method=False):
+        missing = _missing_annotations(node, method=method)
+        if missing:
+            yield make_finding(
+                ctx, RULE_ID, node.lineno, node.col_offset,
+                f"`{node.name}` missing annotations: {', '.join(missing)}",
+            )

@@ -10,7 +10,11 @@ Subcommands exercising the library from a shell:
 * ``chaos`` — run negotiation + playout under a seeded fault plan
   (server crashes, link flaps, transient refusals, lost releases) and
   report blocking/recovery metrics;
-* ``experiments`` — list the E-series experiment index.
+* ``experiments`` — list the E-series experiment index;
+* ``lint`` — run the reprolint project-invariant checks (REP001..REP009),
+  exiting nonzero on findings;
+* ``typecheck`` — run the strict mypy gate over the typed core
+  (skipped gracefully when mypy is not installed).
 
 Invoke as ``python -m repro <subcommand>``.
 """
@@ -96,6 +100,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="retry attempts per reservation call")
 
     sub.add_parser("experiments", help="list the experiment index")
+
+    from .analysis.cli import add_lint_arguments, add_typecheck_arguments
+
+    lint = sub.add_parser(
+        "lint", help="run the reprolint project-invariant checks"
+    )
+    add_lint_arguments(lint)
+
+    typecheck = sub.add_parser(
+        "typecheck", help="run the strict mypy gate over the typed core"
+    )
+    add_typecheck_arguments(typecheck)
 
     report = sub.add_parser(
         "report", help="concatenate the regenerated experiment tables"
@@ -303,6 +319,18 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .analysis.cli import run_lint
+
+    return run_lint(args)
+
+
+def _cmd_typecheck(args) -> int:
+    from .analysis.cli import run_typecheck
+
+    return run_typecheck(args)
+
+
 def main(argv: "Sequence[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -312,6 +340,8 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         "chaos": _cmd_chaos,
         "experiments": _cmd_experiments,
         "report": _cmd_report,
+        "lint": _cmd_lint,
+        "typecheck": _cmd_typecheck,
     }
     return handlers[args.command](args)
 

@@ -17,7 +17,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..documents.media import Codec, ColorMode, Medium
+from ..documents.media import (
+    Codec,
+    ColorMode,
+    HDTV_FRAME_RATE,
+    HDTV_RESOLUTION,
+    Medium,
+)
 from ..documents.monomedia import Variant
 from ..documents.quality import AudioQoS, GraphicQoS, ImageQoS, VideoQoS
 from ..util.errors import DecoderError
@@ -30,8 +36,8 @@ class Decoder:
     """A fixed-function decoder for one codec."""
 
     codec: Codec
-    max_frame_rate: int = 60
-    max_resolution: int = 1920
+    max_frame_rate: int = HDTV_FRAME_RATE
+    max_resolution: int = HDTV_RESOLUTION
     max_color: ColorMode = ColorMode.SUPER_COLOR
 
     def __post_init__(self) -> None:

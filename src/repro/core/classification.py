@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -123,7 +123,9 @@ def classify_offer(
     return ClassifiedOffer(offer=offer, sns=sns, oif=oif, affordable=affordable)
 
 
-def _sort_key(policy: ClassificationPolicy):
+def _sort_key(
+    policy: ClassificationPolicy,
+) -> "Callable[[ClassifiedOffer], tuple[float, ...]]":
     if policy is ClassificationPolicy.PURE_OIF:
         return lambda item: (-item.oif,)
     return lambda item: (int(item.sns), -item.oif)
@@ -270,7 +272,7 @@ def classify_space(
 
 def apply_offer_bonus(
     classified: "list[ClassifiedOffer]",
-    bonus,
+    bonus: "Callable[[SystemOffer], float]",
     *,
     policy: ClassificationPolicy = ClassificationPolicy.SNS_PRIMARY,
 ) -> "list[ClassifiedOffer]":

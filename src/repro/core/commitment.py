@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Callable, Mapping, TypeVar
 
 from ..cmfs.server import MediaServer, StreamReservation
 from ..faults.health import CircuitBreaker
@@ -42,6 +42,7 @@ from ..util.errors import (
     CapacityError,
     ConfirmationTimeout,
     FaultTimeoutError,
+    ReproError,
     ReservationError,
     ServerCrashedError,
     TransientFaultError,
@@ -49,6 +50,8 @@ from ..util.errors import (
 from ..util.rng import make_rng
 from .enumeration import OfferSpace
 from .offers import SystemOffer
+
+T = TypeVar("T")
 
 __all__ = [
     "ReservationBundle",
@@ -141,7 +144,9 @@ class ResourceCommitter:
 
     # -- resilient call wrappers ---------------------------------------------------
 
-    def _run_resilient(self, fn, *, server_id: "str | None" = None):
+    def _run_resilient(
+        self, fn: "Callable[[], T]", *, server_id: "str | None" = None
+    ) -> T:
         """Execute one reservation call under the retry policy, feeding
         attempt outcomes into the health tracker."""
         now = self._clock.now
@@ -164,7 +169,10 @@ class ResourceCommitter:
                     rng=self._retry_rng,
                     on_retry=on_retry,
                 )
-        except Exception as error:
+        except ReproError as error:
+            # Narrow by design (REP003): every fault the injector or the
+            # substrate raises is a ReproError; anything else is a bug
+            # that must surface unrecorded.
             if (
                 health is not None
                 and server_id is not None

@@ -92,7 +92,10 @@ class ScaleImportance:
         xs = np.asarray(xs, dtype=float)
         out = np.interp(xs, self._xs, self._vs)
         for x, v in self.overrides.items():
-            out[xs == float(x)] = v
+            # Tolerance-based match: scale values round-trip through
+            # float parsing/serialisation, and an override must still
+            # win when its key comes back one ulp off.
+            out[np.isclose(xs, float(x))] = v
         return out
 
     def with_override(self, x: float, value: float) -> "ScaleImportance":

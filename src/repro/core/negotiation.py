@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from ..client.machine import ClientMachine
 from ..cmfs.server import MediaServer
@@ -56,6 +56,9 @@ from .mapping import QoSMapper
 from .offers import derive_user_offer
 from .profiles import MMProfile, UserProfile
 from .status import NegotiationStatus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .preferences import UserPreferences
 
 __all__ = ["DEFAULT_RETRY_AFTER_S", "NegotiationResult", "QoSManager"]
 
@@ -325,7 +328,7 @@ class QoSManager:
         document: "Document | str",
         profile: UserProfile,
         client: ClientMachine,
-        **kwargs,
+        **kwargs: Any,
     ) -> NegotiationResult:
         """The GUI's renegotiation path: "modify the offer and then push
         OK to initiate a renegotiation" (§8).
@@ -344,7 +347,7 @@ class QoSManager:
     # -- helpers ------------------------------------------------------------------------
 
     @staticmethod
-    def _preferences_of(profile: UserProfile):
+    def _preferences_of(profile: UserProfile) -> "UserPreferences | None":
         preferences = profile.preferences
         if preferences is None:
             return None

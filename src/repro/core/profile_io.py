@@ -10,6 +10,7 @@ reusing the metadata layer's QoS record format.
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Union
 
@@ -103,7 +104,7 @@ def _importance_to_record(importance: ImportanceProfile) -> dict:
         "media_weight": {
             medium.value: weight
             for medium, weight in importance.media_weight.items()
-            if weight != 1.0
+            if not math.isclose(weight, 1.0)
         },
         "cost_per_dollar": importance.cost_per_dollar,
     }

@@ -21,7 +21,7 @@ from ..documents.media import (
     TV_FRAME_RATE,
     TV_RESOLUTION,
 )
-from ..documents.quality import AudioQoS, TextQoS, VideoQoS
+from ..documents.quality import AudioQoS, MediaQoS, TextQoS, VideoQoS
 from ..util.errors import DuplicateKeyError, NotFoundError, ProfileError
 from .importance import ImportanceProfile, default_importance
 from .profiles import MMProfile, TimeProfile, UserProfile
@@ -39,7 +39,7 @@ def make_profile(
     max_cost: float = 10.0,
     importance: ImportanceProfile | None = None,
     time: TimeProfile | None = None,
-    **extra_media,
+    **extra_media: "MediaQoS | None",
 ) -> UserProfile:
     """Convenience constructor for the common video(+audio) profile.
 

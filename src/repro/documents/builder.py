@@ -339,7 +339,9 @@ def make_news_article(
         .add(audio)
         .parallel(f"{document_id}.video", f"{document_id}.audio")
         .copyright(copyright_cost)
-        .place(f"{document_id}.video", ScreenRegion(0, 0, 720, 540))
+        .place(
+            f"{document_id}.video", ScreenRegion(0, 0, TV_RESOLUTION, 540)
+        )
     )
 
     if include_image:
@@ -353,7 +355,7 @@ def make_news_article(
                 still_server,
             )
         builder.add(image).place(
-            f"{document_id}.image", ScreenRegion(720, 0, 320, 240)
+            f"{document_id}.image", ScreenRegion(TV_RESOLUTION, 0, 320, 240)
         )
 
     if include_text:
@@ -365,7 +367,7 @@ def make_news_article(
                 Codecs.HTML, TextQoS(language=language), still_server
             )
         builder.add(text).place(
-            f"{document_id}.text", ScreenRegion(720, 240, 320, 300)
+            f"{document_id}.text", ScreenRegion(TV_RESOLUTION, 240, 320, 300)
         )
 
     return builder.build()

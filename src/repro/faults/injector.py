@@ -21,7 +21,7 @@ generator in call order, so a chaos run is exactly reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Iterator, Mapping
 
 from ..util.clock import ManualClock
 from ..util.errors import (
@@ -34,6 +34,7 @@ from .plan import FaultKind, FaultPlan, FaultSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cmfs.server import MediaServer
+    from ..network.link import Link
     from ..network.transport import TransportSystem
     from ..session.engine import EventLoop
 
@@ -165,7 +166,7 @@ class FaultInjector:
                 "call install() with the fleet first"
             ) from None
 
-    def _link(self, link_id: str):
+    def _link(self, link_id: str) -> "Link":
         if self._transport is None:
             raise SimulationError(
                 "fault plan targets a link but no transport is installed"
@@ -182,11 +183,11 @@ class FaultInjector:
         server.restart()
         self.stats.restarts += 1
 
-    def _flap(self, link, severity: float) -> None:
+    def _flap(self, link: "Link", severity: float) -> None:
         link.set_congestion(severity)
         self.stats.link_flaps += 1
 
-    def _heal(self, link) -> None:
+    def _heal(self, link: "Link") -> None:
         link.restore()
         self.stats.link_heals += 1
 
@@ -204,7 +205,9 @@ class FaultInjector:
             self._budget[index] = budget - 1
         return True
 
-    def _matching(self, kind: FaultKind, target_id: str):
+    def _matching(
+        self, kind: FaultKind, target_id: str
+    ) -> "Iterator[tuple[int, FaultSpec]]":
         now = self.clock.now()
         for index, spec in enumerate(self.plan.faults):
             if spec.kind is not kind:

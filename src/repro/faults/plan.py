@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from ..util.errors import ValidationError
 from ..util.validation import check_fraction, check_non_negative
@@ -143,7 +144,7 @@ class FaultPlan:
     def __len__(self) -> int:
         return len(self.faults)
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[FaultSpec]":
         return iter(self.faults)
 
     def for_kind(self, kind: FaultKind) -> tuple[FaultSpec, ...]:

@@ -120,7 +120,10 @@ def execute_with_retry(
     while True:
         try:
             return fn()
-        except Exception as error:
+        # A generic combinator must catch broadly: callers may pass a
+        # custom ``retryable`` predicate approving error types outside
+        # the repro taxonomy.  Non-retryables are re-raised unchanged.
+        except Exception as error:  # reprolint: backstop -- custom retryable predicates may approve non-repro errors
             if not retryable(error) or attempt >= policy.max_attempts:
                 raise
             delay = policy.backoff_delay(attempt, rng)

@@ -13,6 +13,7 @@ from typing import Iterable
 
 from ..core.status import NegotiationStatus
 from ..session.playout import PlayoutSession
+from ..util.errors import ValidationError
 from ..util.units import Money
 
 __all__ = ["StatusCounts", "UtilizationIntegral", "RunStats"]
@@ -75,7 +76,7 @@ class UtilizationIntegral:
 
     def sample(self, t: float, value: float) -> None:
         if t < self.last_t:
-            raise ValueError(f"time went backwards: {t} < {self.last_t}")
+            raise ValidationError(f"time went backwards: {t} < {self.last_t}")
         self.integral += self.last_value * (t - self.last_t)
         self.last_t = t
         self.last_value = value

@@ -8,6 +8,8 @@ benchmark regenerates both.
 
 from __future__ import annotations
 
+import math
+
 from ..core.profiles import UserProfile
 from ..documents.document import Document
 from ..util.units import format_bitrate, format_size
@@ -66,7 +68,7 @@ def mm_profile_figure(profile: UserProfile) -> str:
             weights = ", ".join(
                 f"{medium.value}={weight:g}"
                 for medium, weight in media_weight.items()
-                if weight != 1.0
+                if not math.isclose(weight, 1.0)
             )
             lines.append(f"   +- media weights: {weights or 'uniform'}")
     return "\n".join(lines)

@@ -20,7 +20,14 @@ from __future__ import annotations
 from ..core.negotiation import NegotiationResult
 from ..core.profile_manager import ProfileManager
 from ..core.profiles import MMProfile, UserProfile
-from ..documents.media import ColorMode, Medium
+from ..documents.media import (
+    ColorMode,
+    FROZEN_FRAME_RATE,
+    HDTV_FRAME_RATE,
+    HDTV_RESOLUTION,
+    Medium,
+    MIN_RESOLUTION,
+)
 from ..documents.quality import AudioQoS, ImageQoS, TextQoS, VideoQoS
 from ..util.tables import render_box
 from .widgets import button_row, choice_row, scale_bar
@@ -61,7 +68,7 @@ def _qos_lines(bound_desired, bound_worst, offered=None) -> "list[str]":
         )
         lines.append(
             scale_bar(
-                "frame rate", 1, 60,
+                "frame rate", FROZEN_FRAME_RATE, HDTV_FRAME_RATE,
                 desired=bound_desired.frame_rate,
                 worst=worst.frame_rate if worst else None,
                 offer=offer.frame_rate if offer else None,
@@ -70,7 +77,7 @@ def _qos_lines(bound_desired, bound_worst, offered=None) -> "list[str]":
         )
         lines.append(
             scale_bar(
-                "resolution", 10, 1920,
+                "resolution", MIN_RESOLUTION, HDTV_RESOLUTION,
                 desired=bound_desired.resolution,
                 worst=worst.resolution if worst else None,
                 offer=offer.resolution if offer else None,
@@ -100,7 +107,7 @@ def _qos_lines(bound_desired, bound_worst, offered=None) -> "list[str]":
         )
         lines.append(
             scale_bar(
-                "resolution", 10, 1920,
+                "resolution", MIN_RESOLUTION, HDTV_RESOLUTION,
                 desired=bound_desired.resolution,
                 worst=bound_worst.resolution if bound_worst else None,
                 offer=offered.resolution if isinstance(offered, ImageQoS) else None,

@@ -13,6 +13,8 @@ from typing import Optional, Union
 
 import numpy as np
 
+from .errors import ValidationError
+
 __all__ = ["RngLike", "make_rng", "derive_rng", "spawn_rngs"]
 
 RngLike = Union[int, np.random.Generator, None]
@@ -54,6 +56,6 @@ def derive_rng(rng: np.random.Generator, *keys: Union[int, str]) -> np.random.Ge
 def spawn_rngs(seed: RngLike, count: int) -> list[np.random.Generator]:
     """Spawn ``count`` independent generators from one seed."""
     if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
+        raise ValidationError(f"count must be non-negative, got {count}")
     seq = np.random.SeedSequence(seed if isinstance(seed, int) else None)
     return [np.random.default_rng(child) for child in seq.spawn(count)]

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Sequence
 
+from .errors import ValidationError
+
 __all__ = ["render_table", "render_kv", "render_box"]
 
 
@@ -38,7 +40,7 @@ def render_table(
     ncols = len(headers)
     for row in str_rows:
         if len(row) != ncols:
-            raise ValueError(
+            raise ValidationError(
                 f"row has {len(row)} cells, expected {ncols}: {row!r}"
             )
 

@@ -1,0 +1,15 @@
+"""REP001 fixture: wall clock, sleeping, and process-global RNG."""
+
+import random
+import time
+
+import numpy as np
+
+
+def jittered_timestamp() -> float:
+    time.sleep(0.1)
+    return time.time() + random.random()
+
+
+def unseeded_draw() -> float:
+    return float(np.random.uniform(0.0, 1.0))

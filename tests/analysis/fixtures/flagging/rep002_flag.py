@@ -1,0 +1,9 @@
+"""REP002 fixture: acquisitions with no rollback path."""
+
+
+def commit_all(servers, transport, spec):
+    streams = []
+    for server in servers:
+        streams.append(server.admit(spec))
+    flow = transport.reserve(spec)
+    return streams, flow

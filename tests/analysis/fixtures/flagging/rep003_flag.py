@@ -1,0 +1,19 @@
+"""REP003 fixture: bare except, unsanctioned broad except, builtin raise."""
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except:
+        return None
+
+
+def too_broad(fn):
+    try:
+        return fn()
+    except Exception:
+        return None
+
+
+def reject(value):
+    raise ValueError(f"bad value: {value!r}")

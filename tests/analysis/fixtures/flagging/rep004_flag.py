@@ -1,0 +1,9 @@
+"""REP004 fixture: exact float equality on QoS/cost values."""
+
+
+def costs_match(cost: float, limit: str) -> bool:
+    return cost == float(limit)
+
+
+def is_full_rate(rate: float) -> bool:
+    return rate == 29.97 or rate != 23.976

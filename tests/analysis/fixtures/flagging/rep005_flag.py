@@ -1,0 +1,11 @@
+"""REP005 fixture: mutable default arguments."""
+
+
+def collect(item, seen=[]):
+    seen.append(item)
+    return seen
+
+
+def tally(key, counts={}, *, labels=set()):
+    counts[key] = counts.get(key, 0) + 1
+    return counts, labels

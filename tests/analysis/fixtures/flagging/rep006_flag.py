@@ -1,0 +1,12 @@
+"""REP006 fixture: late-binding loop-variable capture in callbacks."""
+
+
+def schedule_all(loop, servers):
+    for server in servers:
+        loop.after(1.0, lambda: server.restart())
+
+
+def schedule_pairs(loop, episodes):
+    callbacks = [lambda: episode.apply() for episode in episodes]
+    for callback in callbacks:
+        loop.after(1.0, callback)

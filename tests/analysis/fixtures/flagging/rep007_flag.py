@@ -1,0 +1,9 @@
+"""REP007 fixture: bare literals duplicating named paper anchors."""
+
+
+def full_resolution_area() -> int:
+    return 1920 * 1080
+
+
+def is_tv_width(width: int) -> bool:
+    return width >= 720

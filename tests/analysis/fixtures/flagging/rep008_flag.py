@@ -1,0 +1,14 @@
+"""REP008 fixture: a mutable offer dataclass."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SystemOffer:
+    offer_id: str
+    cost: float
+
+
+@dataclass(slots=True)
+class UserOffer:
+    offer_id: str

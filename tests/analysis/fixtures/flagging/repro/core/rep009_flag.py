@@ -1,0 +1,13 @@
+"""REP009 fixture: unannotated functions inside the typed core."""
+
+
+def classify(offer, profile):
+    return offer, profile
+
+
+class Negotiator:
+    def negotiate(self, document) -> None:
+        del document
+
+    def status(self):
+        return "ok"

@@ -1,0 +1,9 @@
+"""REP001 fixture (clean): explicit clock and seeded generators."""
+
+from repro.util.clock import ManualClock
+from repro.util.rng import make_rng
+
+
+def jittered_timestamp(clock: ManualClock, seed: int) -> float:
+    rng = make_rng(seed)
+    return clock.now() + float(rng.uniform(0.0, 1.0))

@@ -1,0 +1,21 @@
+"""REP003 fixture (clean): narrow excepts, sanctioned backstop, taxonomy raise."""
+
+from repro.util.errors import ReproError, ValidationError
+
+
+def narrow(fn):
+    try:
+        return fn()
+    except ReproError:
+        return None
+
+
+def outermost_boundary(fn):
+    try:
+        return fn()
+    except Exception:  # reprolint: backstop -- CLI boundary: render any bug as exit code 1
+        return None
+
+
+def reject(value):
+    raise ValidationError(f"bad value: {value!r}")

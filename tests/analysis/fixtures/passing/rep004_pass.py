@@ -1,0 +1,11 @@
+"""REP004 fixture (clean): tolerance-based comparison, zero sentinel."""
+
+import math
+
+
+def costs_match(cost: float, limit: str) -> bool:
+    return math.isclose(cost, float(limit))
+
+
+def is_idle(stall_s: float) -> bool:
+    return stall_s == 0.0

@@ -1,0 +1,12 @@
+"""REP005 fixture (clean): None defaults, container built in the body."""
+
+
+def collect(item, seen=None):
+    if seen is None:
+        seen = []
+    seen.append(item)
+    return seen
+
+
+def lookup(key, table=(), default=0):
+    return dict(table).get(key, default)

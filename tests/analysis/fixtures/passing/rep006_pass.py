@@ -1,0 +1,13 @@
+"""REP006 fixture (clean): default-bound callbacks, eager consumers."""
+
+
+def schedule_all(loop, servers):
+    for server in servers:
+        loop.after(1.0, lambda s=server: s.restart())
+
+
+def rank_per_spec(specs, servers):
+    ranked = {}
+    for spec in specs:
+        ranked[spec] = sorted(servers, key=lambda s: s.distance_to(spec))
+    return ranked

@@ -1,0 +1,11 @@
+"""REP007 fixture (clean): named anchors referenced, not duplicated."""
+
+from repro.documents.media import HDTV_RESOLUTION, TV_RESOLUTION
+
+
+def full_resolution_area() -> int:
+    return HDTV_RESOLUTION * 1080
+
+
+def is_tv_width(width: int) -> bool:
+    return width >= TV_RESOLUTION

@@ -1,0 +1,16 @@
+"""REP008 fixture (clean): offers are frozen dataclasses."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SystemOffer:
+    offer_id: str
+    cost: float
+
+
+class OfferBook:
+    """Hand-written (non-dataclass) classes manage their own invariants."""
+
+    def __init__(self) -> None:
+        self.offers = ()

@@ -1,0 +1,16 @@
+"""REP009 fixture (clean): fully annotated typed-core functions."""
+
+
+def classify(offer: str, profile: str) -> "tuple[str, str]":
+    return offer, profile
+
+
+class Negotiator:
+    def negotiate(self, document: str) -> None:
+        del document
+
+    def status(self) -> str:
+        def helper():  # nested defs are exempt: mypy infers them
+            return "ok"
+
+        return helper()

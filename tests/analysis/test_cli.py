@@ -1,0 +1,81 @@
+"""CLI-level behaviour of ``python -m repro lint`` / ``typecheck``."""
+
+import json
+import pathlib
+
+from repro.cli import main
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+class TestLintCommand:
+    def test_flagging_fixtures_exit_nonzero(self, capsys):
+        code = main(["lint", str(FIXTURES / "flagging"), "--no-baseline"])
+        out = capsys.readouterr().out
+        assert code == 1
+        for rule_id in (
+            "REP001", "REP002", "REP003", "REP004", "REP005",
+            "REP006", "REP007", "REP008", "REP009",
+        ):
+            assert rule_id in out, f"{rule_id} missing from CLI output"
+
+    def test_passing_fixtures_exit_zero(self, capsys):
+        code = main(["lint", str(FIXTURES / "passing"), "--no-baseline"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 findings" in out
+
+    def test_json_format(self, capsys):
+        code = main([
+            "lint", str(FIXTURES / "flagging"), "--no-baseline",
+            "--format", "json",
+        ])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert {f["rule"] for f in payload["findings"]} >= {"REP001", "REP009"}
+
+    def test_select_restricts_rules(self, capsys):
+        code = main([
+            "lint", str(FIXTURES / "flagging"), "--no-baseline",
+            "--select", "REP005",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REP005" in out and "REP001" not in out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("REP0") >= 9
+
+    def test_update_baseline_then_clean_with_justifications(self, tmp_path, capsys):
+        baseline = tmp_path / ".reprolint.json"
+        target = str(FIXTURES / "flagging" / "rep005_flag.py")
+        assert main([
+            "lint", target, "--baseline", str(baseline), "--update-baseline",
+        ]) == 0
+        payload = json.loads(baseline.read_text())
+        assert payload["entries"]
+        # Entries start unjustified: the gate must still fail.
+        assert main(["lint", target, "--baseline", str(baseline)]) == 1
+        for entry in payload["entries"]:
+            entry["justification"] = "fixture: deliberately mutable"
+        baseline.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main(["lint", target, "--baseline", str(baseline)]) == 0
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        code = main(["lint", "--select", "REP999", str(FIXTURES / "passing")])
+        assert code == 2
+        assert "REP999" in capsys.readouterr().err
+
+
+class TestTypecheckCommand:
+    def test_gates_gracefully_without_mypy(self, capsys, monkeypatch):
+        import repro.analysis.cli as analysis_cli
+
+        monkeypatch.setattr(analysis_cli, "mypy_available", lambda: False)
+        assert main(["typecheck"]) == 0
+        assert "skipped" in capsys.readouterr().err
+        assert main(["typecheck", "--require-mypy"]) == 3

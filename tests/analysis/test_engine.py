@@ -1,0 +1,165 @@
+"""Engine mechanics: pragmas, baseline, reporters, file collection."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    LintEngine,
+    ModuleContext,
+    iter_python_files,
+    render_json,
+    render_text,
+)
+from repro.analysis.findings import Finding
+from repro.util.errors import ValidationError
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+FLAGGING_SNIPPET = "import time\n\n\ndef now():\n    return time.time()\n"
+
+
+class TestSuppression:
+    def test_inline_disable_suppresses_the_line(self, tmp_path):
+        clean = FLAGGING_SNIPPET.replace(
+            "time.time()", "time.time()  # reprolint: disable=REP001"
+        )
+        path = tmp_path / "wall.py"
+        path.write_text(clean)
+        report = LintEngine(select=["REP001"]).run([path])
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_disable_of_other_rule_does_not_suppress(self, tmp_path):
+        noisy = FLAGGING_SNIPPET.replace(
+            "time.time()", "time.time()  # reprolint: disable=REP005"
+        )
+        path = tmp_path / "wall.py"
+        path.write_text(noisy)
+        report = LintEngine(select=["REP001"]).run([path])
+        assert [f.rule_id for f in report.findings] == ["REP001"]
+
+
+class TestBaseline:
+    def _one_finding(self, tmp_path):
+        path = tmp_path / "wall.py"
+        path.write_text(FLAGGING_SNIPPET)
+        report = LintEngine(select=["REP001"]).run([path])
+        assert len(report.findings) == 1
+        return path, report.findings[0]
+
+    def test_baselined_finding_is_filtered(self, tmp_path):
+        path, finding = self._one_finding(tmp_path)
+        baseline = Baseline.from_findings([finding])
+        for entry in baseline.entries.values():
+            baseline.entries[entry.fingerprint] = type(entry)(
+                rule_id=entry.rule_id,
+                fingerprint=entry.fingerprint,
+                path=entry.path,
+                justification="legacy wall-clock call, tracked in #42",
+            )
+        report = LintEngine(select=["REP001"], baseline=baseline).run([path])
+        assert report.findings == []
+        assert report.baselined == 1
+        assert report.clean
+
+    def test_unjustified_entry_makes_the_run_dirty(self, tmp_path):
+        path, finding = self._one_finding(tmp_path)
+        baseline = Baseline.from_findings([finding])
+        report = LintEngine(select=["REP001"], baseline=baseline).run([path])
+        assert report.findings == []
+        assert report.unjustified_baseline
+        assert not report.clean
+
+    def test_fingerprint_survives_line_moves(self, tmp_path):
+        _, finding = self._one_finding(tmp_path)
+        moved = tmp_path / "wall.py"
+        moved.write_text("# a new leading comment\n" + FLAGGING_SNIPPET)
+        report = LintEngine(select=["REP001"]).run([moved])
+        assert report.findings[0].line != finding.line
+        assert report.findings[0].fingerprint == finding.fingerprint
+
+    def test_round_trips_through_disk(self, tmp_path):
+        _, finding = self._one_finding(tmp_path)
+        baseline = Baseline.from_findings([finding])
+        target = tmp_path / ".reprolint.json"
+        baseline.dump(target)
+        loaded = Baseline.load(target)
+        assert set(loaded.entries) == set(baseline.entries)
+        assert loaded.match(finding) is not None
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        assert baseline.entries == {}
+
+    def test_malformed_file_is_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValidationError):
+            Baseline.load(bad)
+
+
+class TestReporters:
+    def _report(self, tmp_path):
+        path = tmp_path / "wall.py"
+        path.write_text(FLAGGING_SNIPPET)
+        return LintEngine(select=["REP001"]).run([path])
+
+    def test_text_reporter_formats_location_and_hint(self, tmp_path):
+        report = self._report(tmp_path)
+        text = render_text(report)
+        assert "wall.py:5:" in text
+        assert "REP001" in text
+        assert "hint:" in text
+        assert "1 finding" in text
+
+    def test_json_reporter_is_machine_readable(self, tmp_path):
+        report = self._report(tmp_path)
+        payload = json.loads(render_json(report))
+        assert payload["clean"] is False
+        assert payload["files_checked"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "REP001"
+        assert finding["fingerprint"]
+
+
+class TestCollection:
+    def test_directory_walk_skips_caches(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("x = 1\n")
+        files = list(iter_python_files([tmp_path]))
+        assert [f.name for f in files] == ["mod.py"]
+
+    def test_missing_path_is_an_error(self):
+        with pytest.raises(ValidationError):
+            list(iter_python_files(["definitely/not/here"]))
+
+    def test_unparseable_file_is_an_engine_error(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def broken(:\n")
+        report = LintEngine().run([path])
+        assert report.errors and "broken.py" in report.errors[0]
+        assert not report.clean
+
+    def test_unknown_rule_selection_is_rejected(self):
+        with pytest.raises(ValidationError):
+            LintEngine(select=["REP999"])
+
+
+class TestModuleContext:
+    def test_module_name_resolved_from_package_layout(self):
+        ctx = ModuleContext.from_path(
+            pathlib.Path("src/repro/core/offers.py").resolve()
+        )
+        assert ctx.module == "repro.core.offers"
+        assert ctx.in_package("repro", "core")
+        assert not ctx.in_package("repro", "faults")
+
+    def test_finding_sorting_is_stable(self):
+        a = Finding("REP001", "a.py", 3, 0, "m")
+        b = Finding("REP001", "a.py", 1, 0, "m")
+        assert sorted([a, b], key=Finding.sort_key)[0] is b

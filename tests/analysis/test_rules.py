@@ -1,0 +1,125 @@
+"""Every lint rule has a flagging fixture and a passing fixture.
+
+The fixtures are real files under ``tests/analysis/fixtures`` — the
+same files the CLI-level tests lint as directories — so the unit tests
+and the end-to-end behaviour can never drift apart.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.analysis import LintEngine, ModuleContext
+from repro.analysis.registry import all_rules
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+RULE_FIXTURES = {
+    "REP001": ("flagging/rep001_flag.py", "passing/rep001_pass.py"),
+    "REP002": ("flagging/rep002_flag.py", "passing/rep002_pass.py"),
+    "REP003": ("flagging/rep003_flag.py", "passing/rep003_pass.py"),
+    "REP004": ("flagging/rep004_flag.py", "passing/rep004_pass.py"),
+    "REP005": ("flagging/rep005_flag.py", "passing/rep005_pass.py"),
+    "REP006": ("flagging/rep006_flag.py", "passing/rep006_pass.py"),
+    "REP007": ("flagging/rep007_flag.py", "passing/rep007_pass.py"),
+    "REP008": ("flagging/rep008_flag.py", "passing/rep008_pass.py"),
+    "REP009": (
+        "flagging/repro/core/rep009_flag.py",
+        "passing/repro/core/rep009_pass.py",
+    ),
+}
+
+
+def findings_for(rule_id: str, fixture: str):
+    engine = LintEngine(select=[rule_id])
+    ctx = ModuleContext.from_path(FIXTURES / fixture)
+    return engine.check_context(ctx)
+
+
+class TestFixturePairs:
+    def test_every_rule_has_a_fixture_pair(self):
+        assert sorted(RULE_FIXTURES) == [r.rule_id for r in all_rules()]
+
+    @pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+    def test_flagging_fixture_flags(self, rule_id):
+        flag, _ = RULE_FIXTURES[rule_id]
+        findings = findings_for(rule_id, flag)
+        assert findings, f"{flag} produced no {rule_id} findings"
+        assert all(f.rule_id == rule_id for f in findings)
+        assert all(f.line > 0 and f.hint for f in findings)
+
+    @pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+    def test_passing_fixture_is_clean(self, rule_id):
+        _, ok = RULE_FIXTURES[rule_id]
+        assert findings_for(rule_id, ok) == []
+
+    @pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+    def test_passing_fixture_is_clean_under_every_rule(self, rule_id):
+        """The passing fixtures double as the CLI exit-0 corpus."""
+        _, ok = RULE_FIXTURES[rule_id]
+        engine = LintEngine()
+        assert engine.check_context(ModuleContext.from_path(FIXTURES / ok)) == []
+
+
+class TestRuleSpecifics:
+    def test_rep001_exempts_the_sanctioned_wrappers(self):
+        source = "import time\n\n\ndef now():\n    return time.time()\n"
+        engine = LintEngine(select=["REP001"])
+        assert engine.check_source(
+            source, path="src/repro/util/clock.py", module="repro.util.clock"
+        ) == []
+        assert engine.check_source(source, path="src/repro/sim/run.py")
+
+    def test_rep003_backstop_requires_justification(self):
+        source = (
+            "def f(fn):\n"
+            "    try:\n"
+            "        return fn()\n"
+            "    except Exception:  # reprolint: backstop\n"
+            "        return None\n"
+        )
+        engine = LintEngine(select=["REP003"])
+        findings = engine.check_source(source)
+        assert len(findings) == 1
+        assert "justification" in findings[0].message
+
+    def test_rep004_allows_integer_equality(self):
+        engine = LintEngine(select=["REP004"])
+        assert engine.check_source("ok = count == 3\n") == []
+
+    def test_rep006_counts_capture_across_nested_loops(self):
+        source = (
+            "def f(loop, grid):\n"
+            "    for row in grid:\n"
+            "        for cell in row:\n"
+            "            loop.after(1.0, lambda: cell.fire(row))\n"
+        )
+        findings = LintEngine(select=["REP006"]).check_source(source)
+        assert len(findings) == 1
+        assert "cell" in findings[0].message and "row" in findings[0].message
+
+    def test_rep002_leaf_primitive_is_exempt(self):
+        source = (
+            "class Link:\n"
+            "    def reserve(self, rate):\n"
+            "        return self._pool.reserve(rate)\n"
+        )
+        assert LintEngine(select=["REP002"]).check_source(source) == []
+
+    def test_rep007_exempts_the_defining_modules(self):
+        engine = LintEngine(select=["REP007"])
+        source = "WIDTH = 1920\n"
+        assert engine.check_source(
+            source, path="src/repro/documents/media.py"
+        ) == []
+        assert engine.check_source(source, path="src/repro/ui/widgets.py")
+
+    def test_rep009_ignores_modules_outside_the_typed_core(self):
+        source = "def untyped(a, b):\n    return a\n"
+        engine = LintEngine(select=["REP009"])
+        assert engine.check_source(
+            source, path="src/repro/ui/windows.py", module="repro.ui.windows"
+        ) == []
+        assert engine.check_source(
+            source, path="src/repro/core/offers.py", module="repro.core.offers"
+        )

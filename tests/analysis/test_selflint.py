@@ -1,0 +1,30 @@
+"""The repo must self-lint clean against its shipped baseline.
+
+This is the invariant gate every future PR rides through: ``src/repro``
+produces zero unbaselined findings, and every baseline entry (if any)
+carries a justification.
+"""
+
+import pathlib
+
+from repro.analysis import Baseline, LintEngine
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+class TestSelfLint:
+    def test_src_is_clean_against_the_shipped_baseline(self):
+        baseline = Baseline.load(REPO_ROOT / ".reprolint.json")
+        engine = LintEngine(baseline=baseline)
+        report = engine.run([REPO_ROOT / "src"])
+        formatted = "\n".join(
+            f"{f.location()}: {f.rule_id} {f.message}" for f in report.findings
+        )
+        assert report.findings == [], f"reprolint findings:\n{formatted}"
+        assert report.errors == []
+        assert report.unjustified_baseline == []
+        assert report.files_checked > 90
+
+    def test_shipped_baseline_entries_are_all_justified(self):
+        baseline = Baseline.load(REPO_ROOT / ".reprolint.json")
+        assert baseline.unjustified() == []
