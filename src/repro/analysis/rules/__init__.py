@@ -13,6 +13,7 @@ REP006    no late-binding loop-variable capture in callbacks
 REP007    paper-constant drift (literals duplicating named anchors)
 REP008    offer immutability (Offer dataclasses must be frozen)
 REP009    typed core: full annotations in core/faults/analysis
+REP010    journaled transition: no unlogged commitment state flips
 ========  ==========================================================
 """
 
@@ -25,6 +26,7 @@ from . import (  # noqa: F401  (imports register the rules)
     determinism,
     floats,
     immutability,
+    journaled,
     pairing,
     taxonomy,
     typedcore,
@@ -37,6 +39,7 @@ __all__ = [
     "determinism",
     "floats",
     "immutability",
+    "journaled",
     "pairing",
     "taxonomy",
     "typedcore",

@@ -1,0 +1,118 @@
+"""REP010 — journaled transition: no unlogged commitment state flips.
+
+Crash safety (DESIGN.md §8) rests on append-before-apply: every
+reservation state transition must hit the write-ahead journal *before*
+the in-memory state machine moves, or a crash between the two silently
+leaks the reserved capacity.  Inside the commitment module
+(``repro.core.commitment``) and the session layer (``repro.session``),
+any assignment to a ``.state`` attribute whose value comes from
+``CommitmentState`` must therefore happen in a function that also calls
+a journal helper (``_journal_transition``, ``journal_event``,
+``journal.append`` — any call whose dotted name mentions ``journal``).
+
+``SessionState`` flips are exempt: playout state is volatile by design
+and reconstructed from the journal's CONFIRMED/ADAPT_SWITCH records.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from ..astutil import dotted_name
+from ..registry import make_finding, rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..context import ModuleContext
+    from ..findings import Finding
+
+RULE_ID = "REP010"
+
+_STATE_ENUM = "CommitmentState"
+_JOURNAL_MARKER = "journal"
+
+
+def _in_scope(ctx: "ModuleContext") -> bool:
+    if ctx.in_package("repro", "session"):
+        return True
+    return (
+        ctx.in_package("repro", "core")
+        and Path(ctx.path).stem == "commitment"
+    )
+
+
+def _mentions_state_enum(value: ast.AST) -> bool:
+    for sub in ast.walk(value):
+        if isinstance(sub, ast.Name) and sub.id == _STATE_ENUM:
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr == _STATE_ENUM:
+            return True
+    return False
+
+
+def _state_assigns(node: ast.AST) -> "list[ast.stmt]":
+    """``X.state = <CommitmentState...>`` assignments under ``node``."""
+    assigns: "list[ast.stmt]" = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Assign):
+            targets, value = sub.targets, sub.value
+        elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+            targets, value = [sub.target], sub.value
+        else:
+            continue
+        if not any(
+            isinstance(t, ast.Attribute) and t.attr == "state"
+            for t in targets
+        ):
+            continue
+        if _mentions_state_enum(value):
+            assigns.append(sub)
+    return assigns
+
+
+def _has_journal_call(func: ast.AST) -> bool:
+    for sub in ast.walk(func):
+        if isinstance(sub, ast.Call):
+            name = (dotted_name(sub.func) or "").lower()
+            if _JOURNAL_MARKER in name:
+                return True
+    return False
+
+
+@rule(
+    RULE_ID,
+    "journaled-transition",
+    "commitment state flips must go through the write-ahead journal",
+    "journal the transition before applying it — call "
+    "`_journal_transition(...)`/`journal_event(...)` in the same "
+    "function, or sanction the site with "
+    "`# reprolint: disable=REP010 -- <why no record is owed>`",
+)
+def check(ctx: "ModuleContext") -> "Iterator[Finding]":
+    if not _in_scope(ctx):
+        return
+    functions = [
+        node
+        for node in ast.walk(ctx.tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    seen: "set[ast.stmt]" = set()
+    for func in functions:
+        assigns = [a for a in _state_assigns(func) if a not in seen]
+        seen.update(assigns)
+        if not assigns or _has_journal_call(func):
+            continue
+        for assign in assigns:
+            yield make_finding(
+                ctx, RULE_ID, assign.lineno, assign.col_offset,
+                f"`{_STATE_ENUM}` transition in `{func.name}` bypasses "
+                "the write-ahead journal",
+            )
+    for assign in _state_assigns(ctx.tree):
+        if assign not in seen:
+            yield make_finding(
+                ctx, RULE_ID, assign.lineno, assign.col_offset,
+                f"module-level `{_STATE_ENUM}` transition bypasses the "
+                "write-ahead journal",
+            )

@@ -8,8 +8,11 @@ Subcommands exercising the library from a shell:
 * ``sweep`` — run a seeded workload through a chosen negotiator and
   print the outcome statistics;
 * ``chaos`` — run negotiation + playout under a seeded fault plan
-  (server crashes, link flaps, transient refusals, lost releases) and
-  report blocking/recovery metrics;
+  (server crashes, link flaps, transient refusals, lost releases,
+  manager crashes) and report blocking/recovery metrics;
+* ``recover`` — kill the QoS manager at a chosen crash opportunity,
+  then replay the write-ahead reservation journal and report the
+  reconciliation (zero leaked capacity, preserved sessions);
 * ``experiments`` — list the E-series experiment index;
 * ``lint`` — run the reprolint project-invariant checks (REP001..REP009),
   exiting nonzero on findings;
@@ -86,8 +89,9 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KIND:TARGET:START:DUR[:VALUE]",
         help="injectable fault, e.g. crash:server-a:10:30, "
              "flap:L-client-1:40:20:0.9, slow:server-b:0:60:2.5, "
-             "refuse:server-a:0:-:2, lost-release:server-a:0:120; "
-             "repeatable (default: a demo crash + link flap)",
+             "refuse:server-a:0:-:2, lost-release:server-a:0:120, "
+             "crash-manager:manager:0:-:4 (die at the 4th crash "
+             "opportunity); repeatable (default: a demo crash + link flap)",
     )
     chaos.add_argument("--seed", type=int, default=1)
     chaos.add_argument("--requests", type=int, default=4)
@@ -98,6 +102,29 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--lease-ttl", type=float, default=120.0)
     chaos.add_argument("--max-attempts", type=int, default=3,
                        help="retry attempts per reservation call")
+
+    recover = sub.add_parser(
+        "recover",
+        help="crash the QoS manager mid-negotiation, replay the journal",
+    )
+    recover.add_argument("--seed", type=int, default=1)
+    recover.add_argument("--requests", type=int, default=3)
+    recover.add_argument("--servers", type=int, default=3)
+    recover.add_argument("--spacing", type=float, default=5.0,
+                         help="request inter-arrival time, seconds")
+    recover.add_argument("--profile", default="balanced")
+    recover.add_argument(
+        "--crash-after", type=int, default=4, metavar="K",
+        help="die at the K-th crash opportunity (journal append or "
+             "admission call; default 4)",
+    )
+    recover.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="file-backed journal path (default: in-memory); the restart "
+             "reopens it from disk through the torn-tail reader",
+    )
+    recover.add_argument("--journal-describe", action="store_true",
+                         help="print the journal's record timeline")
 
     sub.add_parser("experiments", help="list the experiment index")
 
@@ -284,6 +311,42 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_recover(args) -> int:
+    from .core import ProfileManager
+    from .sim import CrashRecoverySpec, ScenarioSpec, run_crash_recovery
+    from .util.errors import NotFoundError, SimulationError, ValidationError
+
+    if args.profile not in ProfileManager():
+        print(f"unknown profile {args.profile!r}; have "
+              f"{ProfileManager().names()}", file=sys.stderr)
+        return 2
+    try:
+        spec = CrashRecoverySpec(
+            scenario=ScenarioSpec(server_count=args.servers),
+            seed=args.seed,
+            requests=args.requests,
+            request_spacing_s=args.spacing,
+            profile_name=args.profile,
+            crash_opportunity=args.crash_after,
+            journal_path=args.journal,
+        )
+        report, _scenario = run_crash_recovery(spec)
+    except (NotFoundError, SimulationError, ValidationError) as error:
+        print(f"bad recovery run: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.journal_describe:
+        print()
+        print(report.journal_timeline)
+    if not report.crashed:
+        print("\nNOTE: the crash opportunity was never reached; try a "
+              "smaller --crash-after", file=sys.stderr)
+    if report.recovery is not None and not report.recovery.leak_free:
+        print("\nWARNING: capacity leaked through recovery", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_experiments(_args) -> int:
     from .util.tables import render_table
 
@@ -338,6 +401,7 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         "windows": _cmd_windows,
         "sweep": _cmd_sweep,
         "chaos": _cmd_chaos,
+        "recover": _cmd_recover,
         "experiments": _cmd_experiments,
         "report": _cmd_report,
         "lint": _cmd_lint,

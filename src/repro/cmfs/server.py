@@ -137,6 +137,13 @@ class MediaServer:
     def has_stream(self, stream_id: str) -> bool:
         return stream_id in self._streams
 
+    def streams_for_holder(self, holder: str) -> tuple[StreamReservation, ...]:
+        """Every stream admitted on behalf of ``holder`` (the
+        crash-recovery compensation scan)."""
+        return tuple(
+            s for s in self._streams.values() if s.holder == holder
+        )
+
     # -- crash / restart ---------------------------------------------------------------
 
     @property

@@ -24,6 +24,7 @@ import enum
 from dataclasses import dataclass, field
 
 from ..client.machine import ClientMachine
+from ..journal import JournalRecordType
 from ..util.errors import AdaptationError
 from ..util.validation import check_non_negative
 from .classification import ClassifiedOffer
@@ -88,6 +89,29 @@ class AdaptationManager:
             transition_overhead_s, "transition_overhead_s"
         )
 
+    def _journal_switch(
+        self,
+        old_holder: str,
+        old_offer_id: str,
+        new_result: NegotiationResult,
+        position_s: float,
+    ) -> None:
+        """Record the §4 adaptation transition under the *new* holder —
+        recovery then classifies the new holder as active-and-playing
+        while the old holder's RELEASED record closes it out."""
+        assert new_result.commitment is not None
+        assert new_result.chosen is not None
+        self.manager.committer.journal_event(
+            JournalRecordType.ADAPT_SWITCH,
+            new_result.commitment.bundle.holder,
+            {
+                "from_holder": old_holder,
+                "old_offer_id": old_offer_id,
+                "new_offer_id": new_result.chosen.offer.offer_id,
+                "position_s": position_s,
+            },
+        )
+
     def adapt(
         self,
         result: NegotiationResult,
@@ -115,6 +139,7 @@ class AdaptationManager:
             )
         check_non_negative(position_s, "position_s")
         current_id = result.chosen.offer.offer_id
+        current_holder = result.commitment.bundle.holder
         excluded = frozenset(exclude_offer_ids) | {current_id}
 
         if result.offer_space is None:
@@ -138,6 +163,9 @@ class AdaptationManager:
             if new_result.status is not NegotiationStatus.FAILED_TRY_LATER:
                 assert new_result.commitment is not None
                 new_result.commitment.confirm(self.manager.clock.now())
+                self._journal_switch(
+                    current_holder, current_id, new_result, position_s
+                )
                 return AdaptationOutcome(
                     switched=True,
                     old_offer_id=current_id,
@@ -155,6 +183,9 @@ class AdaptationManager:
             if revert.status is not NegotiationStatus.FAILED_TRY_LATER:
                 assert revert.commitment is not None
                 revert.commitment.confirm(self.manager.clock.now())
+                self._journal_switch(
+                    current_holder, current_id, revert, position_s
+                )
                 return AdaptationOutcome(
                     switched=False,
                     old_offer_id=current_id,
@@ -187,6 +218,9 @@ class AdaptationManager:
         result.commitment.release()
         assert new_result.commitment is not None
         new_result.commitment.confirm(self.manager.clock.now())
+        self._journal_switch(
+            current_holder, current_id, new_result, position_s
+        )
         return AdaptationOutcome(
             switched=True,
             old_offer_id=current_id,

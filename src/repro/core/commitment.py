@@ -25,12 +25,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, TypeVar
+from typing import Any, Callable, Mapping, TypeVar
 
 from ..cmfs.server import MediaServer, StreamReservation
 from ..faults.health import CircuitBreaker
 from ..faults.lease import LeaseManager
 from ..faults.retry import RetryPolicy, execute_with_retry, is_retryable
+from ..journal import JournalRecordType, ReservationJournal
 from ..network.transport import (
     FlowReservation,
     GuaranteeType,
@@ -48,6 +49,7 @@ from ..util.errors import (
     TransientFaultError,
 )
 from ..util.rng import make_rng
+from ..util.validation import check_non_negative, check_positive
 from .enumeration import OfferSpace
 from .offers import SystemOffer
 
@@ -112,6 +114,7 @@ class ResourceCommitter:
         health: "CircuitBreaker | None" = None,
         lease_ttl_s: "float | None" = None,
         retry_seed: int = 0,
+        journal: "ReservationJournal | None" = None,
     ) -> None:
         self._transport = transport
         self._servers = dict(servers)
@@ -121,6 +124,7 @@ class ResourceCommitter:
         self.leases = (
             LeaseManager(ttl_s=lease_ttl_s) if lease_ttl_s is not None else None
         )
+        self.journal = journal
         self.stats = CommitStats()
         self._retry_rng = make_rng(retry_seed)
 
@@ -141,6 +145,23 @@ class ResourceCommitter:
             return self._servers[server_id]
         except KeyError:
             raise ReservationError(f"unknown server {server_id!r}") from None
+
+    def journal_event(
+        self,
+        record_type: JournalRecordType,
+        holder: str,
+        payload: "Mapping[str, Any] | None" = None,
+    ) -> None:
+        """Append one write-ahead record (no-op without a journal).
+
+        Append-before-apply: call this *before* the state change it
+        describes, so a crash between the two leaves the journal ahead
+        of the ledgers and recovery can redo the transition.
+        """
+        if self.journal is not None:
+            self.journal.append(
+                record_type, holder, payload, timestamp=self._clock.now()
+            )
 
     # -- resilient call wrappers ---------------------------------------------------
 
@@ -202,6 +223,11 @@ class ResourceCommitter:
         returned (step 5 then moves to the next offer).  Transient
         faults are retried per the policy before counting as failure.
         """
+        self.journal_event(
+            JournalRecordType.INTENT,
+            holder,
+            {"offer_id": offer.offer_id, "client": client_access_point},
+        )
         streams: list[StreamReservation] = []
         flows: list[FlowReservation] = []
         try:
@@ -229,6 +255,11 @@ class ResourceCommitter:
                     )
                 )
         except COMMIT_FAILURES:
+            self.journal_event(
+                JournalRecordType.RELEASED,
+                holder,
+                {"offer_id": offer.offer_id, "reason": "commit-failed"},
+            )
             self._rollback(streams, flows)
             return None
         bundle = ReservationBundle(
@@ -307,6 +338,12 @@ class ResourceCommitter:
         now = self._clock.now() if now is None else now
         reaped = 0
         for lease in self.leases.due(now):
+            self.journal_event(
+                JournalRecordType.RELEASED,
+                lease.bundle.holder,
+                {"offer_id": lease.bundle.offer.offer_id,
+                 "reason": "lease-reaped"},
+            )
             self._rollback(list(lease.bundle.streams), list(lease.bundle.flows))
             if not self._leftovers(lease.bundle):
                 self.leases.collect(lease)
@@ -345,8 +382,34 @@ class Commitment:
     ) -> None:
         self.bundle = bundle
         self._committer = committer
-        self.reserved_at = float(reserved_at)
-        self.choice_period_s = float(choice_period_s)
+        # A zero/negative/NaN choicePeriod would expire every commitment
+        # the instant it is created — reject it loudly instead.
+        self.reserved_at = check_non_negative(
+            float(reserved_at), "reserved_at"
+        )
+        self.choice_period_s = check_positive(
+            float(choice_period_s), "choice_period_s"
+        )
+        self._journal_transition(
+            JournalRecordType.RESERVED,
+            {
+                "offer_id": bundle.offer.offer_id,
+                "reserved_at": self.reserved_at,
+                "choice_period_s": self.choice_period_s,
+                "streams": [
+                    {
+                        "server_id": s.server_id,
+                        "stream_id": s.stream_id,
+                        "rate_bps": s.rate_bps,
+                    }
+                    for s in bundle.streams
+                ],
+                "flows": [
+                    {"flow_id": f.flow_id, "reserved_bps": f.reserved_bps}
+                    for f in bundle.flows
+                ],
+            },
+        )
         self.state = CommitmentState.PENDING
         self._bundle_released = False
 
@@ -358,6 +421,18 @@ class Commitment:
     def deadline(self) -> float:
         return self.reserved_at + self.choice_period_s
 
+    def _journal_transition(
+        self,
+        record_type: JournalRecordType,
+        payload: "Mapping[str, Any] | None" = None,
+    ) -> None:
+        """Write-ahead record for one lifecycle transition.  Callers
+        guard with the state machine, so each transition is journaled
+        exactly once no matter how teardown paths interleave."""
+        self._committer.journal_event(
+            record_type, self.bundle.holder, payload
+        )
+
     def _release_bundle(self) -> None:
         """Return the held resources exactly once."""
         if self._bundle_released:
@@ -367,6 +442,10 @@ class Commitment:
 
     def _expire_if_due(self, now: float) -> None:
         if self.state is CommitmentState.PENDING and now > self.deadline:
+            self._journal_transition(
+                JournalRecordType.EXPIRED,
+                {"offer_id": self.bundle.offer.offer_id},
+            )
             self.state = CommitmentState.EXPIRED
             self._release_bundle()
 
@@ -384,6 +463,10 @@ class Commitment:
             raise ReservationError(
                 f"cannot confirm a commitment in state {self.state.value}"
             )
+        self._journal_transition(
+            JournalRecordType.CONFIRMED,
+            {"offer_id": self.bundle.offer.offer_id},
+        )
         self.state = CommitmentState.CONFIRMED
 
     def reject(self, now: float) -> None:
@@ -400,6 +483,10 @@ class Commitment:
             raise ReservationError(
                 f"cannot reject a commitment in state {self.state.value}"
             )
+        self._journal_transition(
+            JournalRecordType.RELEASED,
+            {"offer_id": self.bundle.offer.offer_id, "reason": "rejected"},
+        )
         self.state = CommitmentState.REJECTED
         self._release_bundle()
 
@@ -418,5 +505,9 @@ class Commitment:
             CommitmentState.EXPIRED,
         ):
             return
+        self._journal_transition(
+            JournalRecordType.RELEASED,
+            {"offer_id": self.bundle.offer.offer_id, "reason": "teardown"},
+        )
         self.state = CommitmentState.RELEASED
         self._release_bundle()

@@ -38,6 +38,7 @@ from ..documents.media import Medium
 from ..documents.quality import MediaQoS
 from ..faults.health import CircuitBreaker
 from ..faults.retry import RetryPolicy
+from ..journal import ReservationJournal
 from ..metadata.database import MetadataDatabase
 from ..network.transport import GuaranteeType, TransportSystem
 from ..util.clock import ManualClock
@@ -121,6 +122,7 @@ class QoSManager:
         health: "CircuitBreaker | None" = None,
         lease_ttl_s: "float | None" = None,
         retry_seed: int = 0,
+        journal: "ReservationJournal | None" = None,
     ) -> None:
         self.database = database
         self.cost_model = cost_model or default_cost_model()
@@ -137,6 +139,7 @@ class QoSManager:
             health=health,
             lease_ttl_s=lease_ttl_s,
             retry_seed=retry_seed,
+            journal=journal,
         )
         self._holders = itertools.count(1)
 

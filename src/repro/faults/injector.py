@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Iterator, Mapping
 from ..util.clock import ManualClock
 from ..util.errors import (
     FaultTimeoutError,
+    ManagerCrashError,
     SimulationError,
     TransientFaultError,
 )
@@ -34,6 +35,7 @@ from .plan import FaultKind, FaultPlan, FaultSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cmfs.server import MediaServer
+    from ..journal import JournalRecord, ReservationJournal
     from ..network.link import Link
     from ..network.transport import TransportSystem
     from ..session.engine import EventLoop
@@ -53,6 +55,7 @@ class FaultStats:
     slow_admissions: int = 0
     timeouts: int = 0
     lost_releases: int = 0
+    manager_crashes: int = 0
     injected_latency_s: float = 0.0
 
     def as_dict(self) -> dict[str, float]:
@@ -65,6 +68,7 @@ class FaultStats:
             "slow_admissions": self.slow_admissions,
             "timeouts": self.timeouts,
             "lost_releases": self.lost_releases,
+            "manager_crashes": self.manager_crashes,
             "injected_latency_s": self.injected_latency_s,
         }
 
@@ -99,6 +103,11 @@ class FaultInjector:
         }
         self._servers: dict[str, "MediaServer"] = {}
         self._transport: "TransportSystem | None" = None
+        self._journal: "ReservationJournal | None" = None
+        # Manager-crash bookkeeping: opportunities seen and specs
+        # already fired (a process dies once per spec).
+        self._crash_opportunities: dict[int, int] = {}
+        self._crashed_specs: set[int] = set()
         self._armed = False
 
     # -- installation --------------------------------------------------------------
@@ -117,12 +126,35 @@ class FaultInjector:
             transport.fault_hook = self
         return self
 
+    def install_journal(
+        self, journal: "ReservationJournal"
+    ) -> "FaultInjector":
+        """Attach the manager-crash hook to the reservation journal.
+
+        The hook fires *after* each record is durable — the crash then
+        lands exactly between append and apply, the window the
+        write-ahead discipline exists for."""
+        for spec in self.plan.for_kind(FaultKind.MANAGER_CRASH):
+            if spec.target_id != "manager":
+                raise SimulationError(
+                    f"crash-manager targets unknown process "
+                    f"{spec.target_id!r}; the QoS manager is 'manager'"
+                )
+        self._journal = journal
+        journal.crash_hook = self._after_journal_append
+        return self
+
     def uninstall(self) -> None:
         for server in self._servers.values():
             if server.fault_hook is self:
                 server.fault_hook = None
         if self._transport is not None and self._transport.fault_hook is self:
             self._transport.fault_hook = None
+        if (
+            self._journal is not None
+            and self._journal.crash_hook == self._after_journal_append
+        ):
+            self._journal.crash_hook = None
 
     def arm(self, loop: "EventLoop") -> None:
         """Schedule the timed state faults (crashes, flaps) on ``loop``."""
@@ -219,10 +251,39 @@ class FaultInjector:
 
     # -- hook interface (called by MediaServer / TransportSystem) ------------------
 
+    def _after_journal_append(self, record: "JournalRecord") -> None:
+        """Journal crash hook: each durable record is one opportunity
+        for the manager to die (after append, before apply)."""
+        self._crash_opportunity()
+
+    def _crash_opportunity(self) -> None:
+        """One deterministic point at which the manager may crash.
+
+        Each MANAGER_CRASH spec counts opportunities inside its window
+        and fires exactly once, at its ``value``-th one (default the
+        first) — so a seeded plan kills the manager at a reproducible
+        point of steps 5–6.
+        """
+        for index, spec in self._matching(FaultKind.MANAGER_CRASH, "manager"):
+            if index in self._crashed_specs:
+                continue
+            seen = self._crash_opportunities.get(index, 0) + 1
+            self._crash_opportunities[index] = seen
+            kth = 1 if spec.value is None else int(spec.value)
+            if seen < kth:
+                continue
+            self._crashed_specs.add(index)
+            self.stats.manager_crashes += 1
+            raise ManagerCrashError(
+                f"injected manager crash at opportunity {seen} "
+                f"(t={self.clock.now():g}s)"
+            )
+
     def before_admit(
         self, server: "MediaServer", variant_id: str, rate_bps: float
     ) -> None:
         """May raise a transient refusal or a slow-call timeout."""
+        self._crash_opportunity()
         server_id = server.server_id
         for index, spec in self._matching(
             FaultKind.TRANSIENT_REFUSAL, server_id

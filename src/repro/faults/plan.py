@@ -50,6 +50,15 @@ class FaultKind(enum.Enum):
     """A release call is silently swallowed: the reservation leaks until
     the lease reaper recovers it."""
 
+    MANAGER_CRASH = "crash-manager"
+    """The QoS manager itself dies, raising
+    :class:`~repro.util.errors.ManagerCrashError` at the ``value``-th
+    crash opportunity (default: the first) inside the window — a crash
+    opportunity is any journal append or admission attempt, i.e. exactly
+    the points of steps 5–6 where a real process can die.  Recovery is
+    by journal replay, not retry.  ``target_id`` is ``manager`` (or
+    ``*``)."""
+
 
 _ALIASES = {
     "crash": FaultKind.SERVER_CRASH,
@@ -61,10 +70,17 @@ _ALIASES = {
     "flap": FaultKind.LINK_FLAP,
     "link-flap": FaultKind.LINK_FLAP,
     "lost-release": FaultKind.LOST_RELEASE,
+    "crash-manager": FaultKind.MANAGER_CRASH,
+    "manager-crash": FaultKind.MANAGER_CRASH,
 }
 
 _CALL_LEVEL = frozenset(
-    {FaultKind.SLOW_ADMISSION, FaultKind.TRANSIENT_REFUSAL, FaultKind.LOST_RELEASE}
+    {
+        FaultKind.SLOW_ADMISSION,
+        FaultKind.TRANSIENT_REFUSAL,
+        FaultKind.LOST_RELEASE,
+        FaultKind.MANAGER_CRASH,
+    }
 )
 
 
@@ -100,6 +116,12 @@ class FaultSpec:
         ):
             raise ValidationError(
                 "slow-admission needs a positive latency value"
+            )
+        if self.kind is FaultKind.MANAGER_CRASH and (
+            self.value is not None and self.value < 1
+        ):
+            raise ValidationError(
+                "crash-manager value (the k-th crash opportunity) must be >= 1"
             )
 
     @property

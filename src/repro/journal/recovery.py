@@ -1,0 +1,459 @@
+"""Crash recovery: replay the reservation journal against live ledgers.
+
+After a QoS-manager crash the in-memory negotiation state is gone but
+two things survive: the resource ledgers on the media servers and the
+transport system (the *remote* side of steps 5–6), and the write-ahead
+journal (the *durable* side).  :class:`RecoveryManager` reconciles the
+two.  Each holder's record timeline classifies it:
+
+* **orphaned** — an ``INTENT`` with no ``RESERVED``: the crash hit
+  mid-commit.  Whatever partial resources the holder's walk acquired
+  are found by ledger scan and released (compensation).
+* **awaiting confirmation** — ``RESERVED`` without a terminal record:
+  step 6 was in flight.  If the ``choicePeriod`` deadline already
+  passed during the outage the resources are released and ``EXPIRED``
+  is journaled; otherwise the remaining period is re-armed on the
+  shared clock as a :class:`RecoveredCommitment`.
+* **confirmed and playing** — last record ``CONFIRMED`` or
+  ``ADAPT_SWITCH``: the session's resources are preserved and the
+  holder is handed to the session supervisor for heartbeat watch.
+* **terminal** — ``RELEASED``/``EXPIRED``: the transition was journaled
+  but the crash may have struck before the ledgers were updated
+  (append-before-apply), so any leftovers are redone now.
+
+The replay is idempotent: every action it takes is itself journaled, so
+running recovery twice — or after a lease reaper already collected a
+holder — releases nothing twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+from ..util.clock import ManualClock
+from ..util.errors import RecoveryError, ReservationError
+from ..util.tables import render_table
+from .records import ACTIVE_TYPES, JournalRecord, JournalRecordType
+from .store import ReservationJournal
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cmfs.server import MediaServer
+    from ..network.transport import TransportSystem
+    from ..session.engine import EventLoop
+    from ..session.supervisor import SessionSupervisor
+
+__all__ = [
+    "HolderOutcome",
+    "RecoveredCommitment",
+    "RecoveryReport",
+    "RecoveryManager",
+]
+
+
+class HolderOutcome:
+    """String constants naming what recovery did with one holder."""
+
+    ORPHAN_RELEASED = "orphan-released"
+    EXPIRED_RELEASED = "expired-released"
+    REARMED = "rearmed"
+    ACTIVE = "active"
+    REDO_RELEASED = "redo-released"
+    CLEAN = "clean"
+
+
+@dataclass(slots=True)
+class RecoveredCommitment:
+    """A step-6 commitment rebuilt from its ``RESERVED`` record.
+
+    The original :class:`~repro.core.commitment.Commitment` object died
+    with the manager; this carries exactly what step 6 needs — the
+    deadline and the resource ids — re-armed on the shared clock."""
+
+    holder: str
+    offer_id: str
+    reserved_at: float
+    choice_period_s: float
+    streams: "tuple[tuple[str, str], ...]"  # (server_id, stream_id)
+    flows: "tuple[str, ...]"
+    _manager: "RecoveryManager"
+    confirmed: bool = False
+    expired: bool = False
+
+    @property
+    def deadline(self) -> float:
+        return self.reserved_at + self.choice_period_s
+
+    def remaining(self, now: float) -> float:
+        return max(self.deadline - now, 0.0)
+
+    def confirm(self, now: float) -> None:
+        """The user (re)confirmed within the surviving choice period."""
+        if self.expired:
+            raise RecoveryError(
+                f"recovered commitment {self.holder} already expired"
+            )
+        if self.confirmed:
+            return
+        self._manager.journal_event(
+            JournalRecordType.CONFIRMED,
+            self.holder,
+            {"offer_id": self.offer_id, "recovered": True},
+            timestamp=now,
+        )
+        self.confirmed = True
+
+    def expire_check(self, now: float) -> bool:
+        """Release the reservation iff the re-armed deadline passed."""
+        if self.confirmed or self.expired:
+            return self.expired
+        if now <= self.deadline:
+            return False
+        self._manager.expire_recovered(self, now)
+        return True
+
+
+@dataclass(slots=True)
+class RecoveryReport:
+    """Reconciliation summary of one journal replay."""
+
+    holders: int = 0
+    orphans_released: int = 0
+    expired_released: int = 0
+    rearmed: int = 0
+    active_sessions: int = 0
+    redo_released: int = 0
+    clean: int = 0
+    streams_released: int = 0
+    flows_released: int = 0
+    torn_records_dropped: int = 0
+    leaked_streams: int = 0
+    leaked_flows: int = 0
+    leaked_bps: float = 0.0
+    outcomes: "dict[str, str]" = field(default_factory=dict)
+    pending: "dict[str, RecoveredCommitment]" = field(default_factory=dict)
+
+    @property
+    def leak_free(self) -> bool:
+        """No reservation survives without a live (confirmed or
+        re-armed) holder — the zero-leak reconciliation property."""
+        return self.leaked_streams == 0 and self.leaked_flows == 0
+
+    def rows(self) -> "list[tuple[str, str]]":
+        rows = [
+            ("holders reconciled", str(self.holders)),
+            ("  orphans compensated", str(self.orphans_released)),
+            ("  expired during outage", str(self.expired_released)),
+            ("  choicePeriod re-armed", str(self.rearmed)),
+            ("  confirmed sessions preserved", str(self.active_sessions)),
+            ("  terminal redo releases", str(self.redo_released)),
+            ("  already clean", str(self.clean)),
+            ("streams released", str(self.streams_released)),
+            ("flows released", str(self.flows_released)),
+            ("torn records dropped", str(self.torn_records_dropped)),
+            (
+                "leaks after reconciliation",
+                "none"
+                if self.leak_free
+                else f"{self.leaked_streams} streams, {self.leaked_flows} "
+                     f"flows, {self.leaked_bps / 1e6:.1f} Mbps",
+            ),
+        ]
+        return rows
+
+    def render(self) -> str:
+        return render_table(
+            ("metric", "value"), self.rows(), title="crash-recovery report"
+        )
+
+
+class RecoveryManager:
+    """Replays the reservation journal after a manager crash."""
+
+    def __init__(
+        self,
+        journal: ReservationJournal,
+        servers: "Mapping[str, MediaServer]",
+        transport: "TransportSystem",
+        *,
+        clock: "ManualClock | None" = None,
+    ) -> None:
+        self.journal = journal
+        self._servers = dict(servers)
+        self._transport = transport
+        self._clock = clock or ManualClock()
+
+    # -- journal + ledger primitives -----------------------------------------------
+
+    def journal_event(
+        self,
+        record_type: JournalRecordType,
+        holder: str,
+        payload: "Mapping[str, Any] | None" = None,
+        *,
+        timestamp: "float | None" = None,
+    ) -> JournalRecord:
+        return self.journal.append(
+            record_type,
+            holder,
+            payload,
+            timestamp=self._clock.now() if timestamp is None else timestamp,
+        )
+
+    def expire_recovered(
+        self, commitment: RecoveredCommitment, now: float
+    ) -> "tuple[int, int]":
+        """Journal ``EXPIRED`` (append-before-apply) then release the
+        commitment's resources; idempotent via the ``expired`` flag."""
+        if commitment.expired:
+            return 0, 0
+        self.journal_event(
+            JournalRecordType.EXPIRED,
+            commitment.holder,
+            {"offer_id": commitment.offer_id, "recovered": True},
+            timestamp=now,
+        )
+        commitment.expired = True
+        return self.release_resources(commitment.streams, commitment.flows)
+
+    def release_resources(
+        self,
+        streams: "tuple[tuple[str, str], ...]",
+        flows: "tuple[str, ...]",
+    ) -> "tuple[int, int]":
+        """Best-effort release by resource id; returns (streams, flows)
+        actually freed.  Already-gone resources are not an error — the
+        whole point of the replay is that it may repeat work."""
+        freed_streams = 0
+        freed_flows = 0
+        for flow_id in flows:
+            if not self._transport.has_flow(flow_id):
+                continue
+            try:
+                self._transport.release(flow_id)
+                freed_flows += 1
+            except ReservationError:
+                pass  # released concurrently; nothing leaked
+        for server_id, stream_id in streams:
+            server = self._servers.get(server_id)
+            if server is None or not server.has_stream(stream_id):
+                continue
+            try:
+                server.release(stream_id)
+                freed_streams += 1
+            except ReservationError:
+                pass
+        return freed_streams, freed_flows
+
+    def _scan_holder(
+        self, holder: str
+    ) -> "tuple[tuple[tuple[str, str], ...], tuple[str, ...]]":
+        """Ledger scan: every stream/flow currently held by ``holder``
+        (the compensation path for crashes mid-commit, where only the
+        INTENT record exists)."""
+        streams = tuple(
+            (server_id, stream.stream_id)
+            for server_id, server in self._servers.items()
+            for stream in server.streams_for_holder(holder)
+        )
+        flows = tuple(
+            flow.flow_id for flow in self._transport.flows_for_holder(holder)
+        )
+        return streams, flows
+
+    @staticmethod
+    def _reserved_resources(
+        record: JournalRecord,
+    ) -> "tuple[tuple[tuple[str, str], ...], tuple[str, ...]]":
+        streams = tuple(
+            (str(entry["server_id"]), str(entry["stream_id"]))
+            for entry in record.payload.get("streams", ())
+        )
+        flows = tuple(
+            str(entry["flow_id"]) for entry in record.payload.get("flows", ())
+        )
+        return streams, flows
+
+    # -- the replay ----------------------------------------------------------------
+
+    def replay(
+        self,
+        *,
+        loop: "EventLoop | None" = None,
+        supervisor: "SessionSupervisor | None" = None,
+    ) -> RecoveryReport:
+        """Classify every holder, redo/compensate releases, re-arm
+        pending deadlines, hand confirmed sessions to ``supervisor``,
+        and audit the ledgers for leaks."""
+        now = self._clock.now()
+        report = RecoveryReport(
+            torn_records_dropped=self.journal.torn_records_dropped
+        )
+        # Snapshot: recovery appends its own records while iterating.
+        grouped = self.journal.by_holder()
+        for holder, timeline in grouped.items():
+            report.holders += 1
+            outcome = self._reconcile_holder(
+                holder, timeline, now, report, loop=loop, supervisor=supervisor
+            )
+            report.outcomes[holder] = outcome
+        self._audit(report)
+        return report
+
+    def _reconcile_holder(
+        self,
+        holder: str,
+        timeline: "list[JournalRecord]",
+        now: float,
+        report: RecoveryReport,
+        *,
+        loop: "EventLoop | None",
+        supervisor: "SessionSupervisor | None",
+    ) -> str:
+        last = timeline[-1]
+        reserved = next(
+            (
+                r
+                for r in reversed(timeline)
+                if r.record_type is JournalRecordType.RESERVED
+            ),
+            None,
+        )
+        if last.is_terminal:
+            return self._redo_terminal(holder, reserved, report)
+        if last.record_type in ACTIVE_TYPES:
+            return self._hand_to_supervisor(
+                holder, reserved, now, report, supervisor=supervisor
+            )
+        if last.record_type is JournalRecordType.RESERVED:
+            return self._rearm_or_expire(
+                holder, last, now, report, loop=loop
+            )
+        # INTENT only: the crash hit inside the step-5 walk.  Journal
+        # the compensation first (append-before-apply), then sweep the
+        # ledgers for whatever the walk had already taken.
+        self.journal_event(
+            JournalRecordType.RELEASED,
+            holder,
+            {"reason": "recovery-orphan"},
+            timestamp=now,
+        )
+        streams, flows = self._scan_holder(holder)
+        freed_streams, freed_flows = self.release_resources(streams, flows)
+        report.orphans_released += 1
+        report.streams_released += freed_streams
+        report.flows_released += freed_flows
+        return HolderOutcome.ORPHAN_RELEASED
+
+    def _redo_terminal(
+        self,
+        holder: str,
+        reserved: "JournalRecord | None",
+        report: RecoveryReport,
+    ) -> str:
+        streams: "tuple[tuple[str, str], ...]" = ()
+        flows: "tuple[str, ...]" = ()
+        if reserved is not None:
+            streams, flows = self._reserved_resources(reserved)
+        scan_streams, scan_flows = self._scan_holder(holder)
+        freed_streams, freed_flows = self.release_resources(
+            streams + scan_streams, flows + scan_flows
+        )
+        if freed_streams or freed_flows:
+            report.redo_released += 1
+            report.streams_released += freed_streams
+            report.flows_released += freed_flows
+            return HolderOutcome.REDO_RELEASED
+        report.clean += 1
+        return HolderOutcome.CLEAN
+
+    def _rearm_or_expire(
+        self,
+        holder: str,
+        reserved: JournalRecord,
+        now: float,
+        report: RecoveryReport,
+        *,
+        loop: "EventLoop | None",
+    ) -> str:
+        streams, flows = self._reserved_resources(reserved)
+        commitment = RecoveredCommitment(
+            holder=holder,
+            offer_id=str(reserved.payload.get("offer_id", "")),
+            reserved_at=float(reserved.payload.get("reserved_at", reserved.timestamp)),
+            choice_period_s=float(reserved.payload.get("choice_period_s", 0.0)),
+            streams=streams,
+            flows=flows,
+            _manager=self,
+        )
+        if now > commitment.deadline:
+            freed_streams, freed_flows = self.expire_recovered(commitment, now)
+            report.expired_released += 1
+            report.streams_released += freed_streams
+            report.flows_released += freed_flows
+            return HolderOutcome.EXPIRED_RELEASED
+        report.rearmed += 1
+        report.pending[holder] = commitment
+
+        def timer_fired(c: RecoveredCommitment = commitment) -> None:
+            # The §8 choicePeriod timer itself: firing *at* the deadline
+            # is expiry (expire_check's strict > is for polling paths).
+            if not c.confirmed and not c.expired:
+                self.expire_recovered(c, self._clock.now())
+
+        if loop is not None:
+            loop.at(
+                commitment.deadline,
+                timer_fired,
+                label=f"recovery-choice-period:{holder}",
+            )
+        return HolderOutcome.REARMED
+
+    def _hand_to_supervisor(
+        self,
+        holder: str,
+        reserved: "JournalRecord | None",
+        now: float,
+        report: RecoveryReport,
+        *,
+        supervisor: "SessionSupervisor | None",
+    ) -> str:
+        report.active_sessions += 1
+        if supervisor is not None:
+            streams: "tuple[tuple[str, str], ...]" = ()
+            flows: "tuple[str, ...]" = ()
+            if reserved is not None:
+                streams, flows = self._reserved_resources(reserved)
+
+            def release(when: float, s: "tuple[tuple[str, str], ...]" = streams,
+                        f: "tuple[str, ...]" = flows, h: str = holder) -> None:
+                self.journal_event(
+                    JournalRecordType.RELEASED,
+                    h,
+                    {"reason": "supervisor-timeout"},
+                    timestamp=when,
+                )
+                self.release_resources(s, f)
+
+            supervisor.adopt(holder, release, now=now)
+        return HolderOutcome.ACTIVE
+
+    # -- audit ---------------------------------------------------------------------
+
+    def _audit(self, report: RecoveryReport) -> None:
+        """Every remaining reservation must belong to a holder recovery
+        classified as live (confirmed/adopted or re-armed)."""
+        live = {
+            holder
+            for holder, outcome in report.outcomes.items()
+            if outcome in (HolderOutcome.ACTIVE, HolderOutcome.REARMED)
+        }
+        for server in self._servers.values():
+            for stream in server.reservations():
+                if stream.holder not in live:
+                    report.leaked_streams += 1
+                    report.leaked_bps += stream.rate_bps
+        for flow in self._transport.flows():
+            if flow.holder not in live:
+                report.leaked_flows += 1
+                report.leaked_bps += flow.reserved_bps

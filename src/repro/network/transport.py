@@ -59,6 +59,7 @@ class FlowReservation:
     guarantee: GuaranteeType
     route: Route
     link_reservations: tuple[LinkReservation, ...]
+    holder: str = "anonymous"
 
     @property
     def reserved_bps(self) -> float:
@@ -112,6 +113,13 @@ class TransportSystem:
     def has_flow(self, flow_id: str) -> bool:
         return flow_id in self._flows
 
+    def flows_for_holder(self, holder: str) -> tuple[FlowReservation, ...]:
+        """Every flow reserved on behalf of ``holder`` (the crash-recovery
+        compensation scan)."""
+        return tuple(
+            flow for flow in self._flows.values() if flow.holder == holder
+        )
+
     @property
     def flow_count(self) -> int:
         return len(self._flows)
@@ -158,6 +166,7 @@ class TransportSystem:
             guarantee=guarantee,
             route=route,
             link_reservations=tuple(taken),
+            holder=holder,
         )
         self._flows[flow_id] = flow
         return flow

@@ -5,6 +5,7 @@ from .engine import EventLoop, ScheduledEvent
 from .monitor import JitterCompensator, QoSMonitor, Violation
 from .playout import PlayoutSession, SessionRecord, SessionState
 from .runtime import SessionRuntime
+from .supervisor import SessionSupervisor, SupervisedEntry, SupervisorStats
 from .violations import CongestionEpisode, RandomInjector, ScriptedInjector
 
 __all__ = [
@@ -20,6 +21,9 @@ __all__ = [
     "SessionRecord",
     "SessionState",
     "SessionRuntime",
+    "SessionSupervisor",
+    "SupervisedEntry",
+    "SupervisorStats",
     "CongestionEpisode",
     "RandomInjector",
     "ScriptedInjector",

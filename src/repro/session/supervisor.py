@@ -1,0 +1,272 @@
+"""Session supervision: heartbeats over active playouts.
+
+The paper's active phase assumes every playing session has a live QoS
+manager watching it.  After a manager crash that is no longer true: the
+:class:`~repro.journal.recovery.RecoveryManager` finds CONFIRMED
+sessions in the journal whose in-memory state is gone.  The supervisor
+is where those sessions are handed: it heartbeats every watched
+playout, detects the ones that stopped making progress (stalled) or
+lost their reserved resources underneath (dead), and drives
+release-or-adapt so a dead session never pins capacity.
+
+Two kinds of watch:
+
+* **live sessions** (:meth:`watch`) — a :class:`PlayoutSession` owned
+  by a :class:`~repro.session.runtime.SessionRuntime`.  Progress is the
+  heartbeat: a session whose playout position advances is alive; one
+  whose reserved streams/flows vanished (a reaped lease, a wiped server
+  ledger) is dead and is adapted — or aborted, releasing whatever is
+  left — on the next sweep.
+* **adopted holders** (:meth:`adopt`) — sessions recovered from the
+  journal after a crash, known only by holder id.  The reconnecting
+  client must call :meth:`heartbeat` within ``heartbeat_timeout_s``;
+  silence means the user is gone and the supervisor invokes the release
+  closure the recovery manager attached (journaled as a
+  ``supervisor-timeout`` release).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from ..util.clock import ManualClock
+from ..util.errors import AdaptationError, SessionError
+from ..util.validation import check_positive
+from .playout import PlayoutSession, SessionState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import EventLoop
+    from .runtime import SessionRuntime
+
+__all__ = ["SupervisedEntry", "SupervisorStats", "SessionSupervisor"]
+
+_TERMINAL_STATES = (SessionState.COMPLETED, SessionState.ABORTED)
+
+
+@dataclass(slots=True)
+class SupervisedEntry:
+    """One watched holder."""
+
+    holder: str
+    last_heartbeat: float
+    session: "PlayoutSession | None" = None
+    release: "Callable[[float], None] | None" = None
+    last_position_s: float = -1.0
+    adopted: bool = False
+
+
+@dataclass(slots=True)
+class SupervisorStats:
+    """What the supervisor observed and did."""
+
+    heartbeats: int = 0
+    adopted: int = 0
+    stalls_detected: int = 0
+    dead_sessions: int = 0
+    adaptations_driven: int = 0
+    sessions_released: int = 0
+
+    def as_dict(self) -> "dict[str, int]":
+        return {
+            "heartbeats": self.heartbeats,
+            "adopted": self.adopted,
+            "stalls_detected": self.stalls_detected,
+            "dead_sessions": self.dead_sessions,
+            "adaptations_driven": self.adaptations_driven,
+            "sessions_released": self.sessions_released,
+        }
+
+
+class SessionSupervisor:
+    """Heartbeat watch over playouts and crash-recovered holders."""
+
+    def __init__(
+        self,
+        *,
+        clock: ManualClock,
+        runtime: "SessionRuntime | None" = None,
+        heartbeat_timeout_s: float = 30.0,
+        period_s: float = 5.0,
+    ) -> None:
+        self._clock = clock
+        self.runtime = runtime
+        self.heartbeat_timeout_s = check_positive(
+            float(heartbeat_timeout_s), "heartbeat_timeout_s"
+        )
+        self.period_s = check_positive(float(period_s), "period_s")
+        self.stats = SupervisorStats()
+        self._entries: "dict[str, SupervisedEntry]" = {}
+        self._sweeping = False
+
+    # -- registration --------------------------------------------------------------
+
+    def watch(
+        self, session: PlayoutSession, *, now: "float | None" = None
+    ) -> SupervisedEntry:
+        """Put a live playout session under supervision."""
+        now = self._clock.now() if now is None else now
+        entry = SupervisedEntry(
+            holder=session.holder,
+            last_heartbeat=now,
+            session=session,
+            last_position_s=session.position_at(now),
+        )
+        self._entries[entry.holder] = entry
+        return entry
+
+    def adopt(
+        self,
+        holder: str,
+        release: "Callable[[float], None] | None" = None,
+        *,
+        now: "float | None" = None,
+    ) -> SupervisedEntry:
+        """Take over a crash-recovered confirmed session by holder id.
+
+        ``release`` is invoked with the current time if no heartbeat
+        arrives within ``heartbeat_timeout_s`` — the recovery manager
+        passes a closure that journals the release and frees the
+        holder's journaled resources.
+        """
+        if not holder:
+            raise SessionError("cannot adopt an empty holder id")
+        now = self._clock.now() if now is None else now
+        entry = SupervisedEntry(
+            holder=holder, last_heartbeat=now, release=release, adopted=True
+        )
+        self._entries[holder] = entry
+        self.stats.adopted += 1
+        return entry
+
+    def heartbeat(self, holder: str, now: "float | None" = None) -> bool:
+        """A liveness signal for ``holder``; False if it is not watched
+        (already released, or never adopted)."""
+        entry = self._entries.get(holder)
+        if entry is None:
+            return False
+        entry.last_heartbeat = self._clock.now() if now is None else now
+        self.stats.heartbeats += 1
+        return True
+
+    def forget(self, holder: str) -> None:
+        self._entries.pop(holder, None)
+
+    def watched_holders(self) -> "tuple[str, ...]":
+        return tuple(self._entries)
+
+    @property
+    def watch_count(self) -> int:
+        return len(self._entries)
+
+    # -- the sweep -----------------------------------------------------------------
+
+    def arm(self, loop: "EventLoop") -> None:
+        """Run :meth:`check` every ``period_s`` while anything is
+        watched (auto-stops like the runtime's monitor sweep)."""
+        if self._sweeping:
+            return
+        self._sweeping = True
+
+        def sweep() -> None:
+            self.check(self._clock.now())
+            if self._entries:
+                loop.after(self.period_s, sweep, label="supervisor")
+            else:
+                self._sweeping = False
+
+        loop.after(self.period_s, sweep, label="supervisor")
+
+    def check(self, now: "float | None" = None) -> "list[str]":
+        """One supervision pass; returns the holders acted on."""
+        now = self._clock.now() if now is None else now
+        acted: "list[str]" = []
+        for entry in list(self._entries.values()):
+            if entry.session is not None:
+                if self._check_live(entry, now):
+                    acted.append(entry.holder)
+            elif now - entry.last_heartbeat > self.heartbeat_timeout_s:
+                # Adopted holder went silent: the user never came back
+                # after the crash, so return the resources.
+                self.stats.stalls_detected += 1
+                if entry.release is not None:
+                    entry.release(now)
+                self.stats.sessions_released += 1
+                self._entries.pop(entry.holder, None)
+                acted.append(entry.holder)
+        return acted
+
+    def _check_live(self, entry: SupervisedEntry, now: float) -> bool:
+        session = entry.session
+        assert session is not None
+        if session.state in _TERMINAL_STATES:
+            self._entries.pop(entry.holder, None)
+            return False
+        position = session.position_at(now)
+        if position > entry.last_position_s + 1e-12:
+            entry.last_position_s = position
+            entry.last_heartbeat = now
+            self.stats.heartbeats += 1
+        stalled = now - entry.last_heartbeat > self.heartbeat_timeout_s
+        dead = self._resources_gone(session)
+        if not stalled and not dead:
+            return False
+        if dead:
+            self.stats.dead_sessions += 1
+        else:
+            self.stats.stalls_detected += 1
+        return self._release_or_adapt(entry, session, now)
+
+    def _resources_gone(self, session: PlayoutSession) -> bool:
+        """Did the session's reservation vanish underneath it (reaped
+        lease, wiped server ledger)?  Only checkable with a runtime."""
+        if self.runtime is None:
+            return False
+        commitment = session.result.commitment
+        if commitment is None:
+            return False
+        committer = self.runtime.manager.committer
+        bundle = commitment.bundle
+        servers = committer.servers
+        streams_alive = any(
+            servers[s.server_id].has_stream(s.stream_id)
+            for s in bundle.streams
+            if s.server_id in servers
+        )
+        flows_alive = any(
+            committer.transport.has_flow(f.flow_id) for f in bundle.flows
+        )
+        return bool(bundle.streams or bundle.flows) and not (
+            streams_alive or flows_alive
+        )
+
+    def _release_or_adapt(
+        self, entry: SupervisedEntry, session: PlayoutSession, now: float
+    ) -> bool:
+        """Adapt the session onto fresh resources if possible; abort
+        (and release) otherwise."""
+        runtime = self.runtime
+        if runtime is not None and runtime.adaptation_enabled:
+            try:
+                session.adapt(runtime.adaptation, now)
+            except AdaptationError:
+                pass  # fall through to release
+            else:
+                if not session.record.resources_lost:
+                    self.stats.adaptations_driven += 1
+                    entry.last_heartbeat = now
+                    entry.last_position_s = session.position_at(now)
+                    return True
+        if runtime is not None:
+            runtime.abort_session(session)
+        else:
+            session.abort(now)
+        self.stats.sessions_released += 1
+        self._entries.pop(entry.holder, None)
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionSupervisor({self.watch_count} watched, "
+            f"timeout {self.heartbeat_timeout_s:g}s)"
+        )

@@ -12,6 +12,7 @@ from .baselines import (
 )
 from .chaos import ChaosReport, ChaosSpec, run_chaos
 from .experiment import RunConfig, run_workload
+from .recover import CrashRecoveryReport, CrashRecoverySpec, run_crash_recovery
 from .metrics import RunStats, StatusCounts, UtilizationIntegral
 from .scenario import Scenario, ScenarioSpec, build_scenario
 from .workload import Request, WorkloadSpec, generate_requests, zipf_weights
@@ -28,6 +29,9 @@ __all__ = [
     "ChaosReport",
     "ChaosSpec",
     "run_chaos",
+    "CrashRecoveryReport",
+    "CrashRecoverySpec",
+    "run_crash_recovery",
     "RunConfig",
     "run_workload",
     "RunStats",

@@ -21,9 +21,16 @@ from ..core.profile_manager import ProfileManager
 from ..core.status import NegotiationStatus
 from ..faults.health import CircuitBreaker
 from ..faults.injector import FaultInjector
+from ..faults.lease import LeaseManager
 from ..faults.plan import FaultPlan
 from ..faults.retry import RetryPolicy
-from ..util.errors import ConfirmationTimeout, SimulationError
+from ..journal import HolderOutcome, RecoveryManager, ReservationJournal
+from ..session.supervisor import SessionSupervisor
+from ..util.errors import (
+    ConfirmationTimeout,
+    ManagerCrashError,
+    SimulationError,
+)
 from ..util.tables import render_table
 from .scenario import Scenario, ScenarioSpec, build_scenario
 
@@ -45,6 +52,8 @@ class ChaosSpec:
     breaker_recovery_s: float = 30.0
     lease_ttl_s: float = 120.0
     monitor_period_s: float = 1.0
+    supervisor_timeout_s: float = 60.0
+    supervisor_period_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.requests < 1:
@@ -73,6 +82,15 @@ class ChaosReport:
     completed_sessions: int = 0
     aborted_sessions: int = 0
     leases_reaped: int = 0
+    manager_crashes: int = 0
+    recoveries: int = 0
+    recovered_orphans: int = 0
+    recovered_expired: int = 0
+    recovered_rearmed: int = 0
+    recovered_active: int = 0
+    recovered_redo: int = 0
+    supervisor_releases: int = 0
+    journal_records: int = 0
     fault_stats: dict[str, float] = field(default_factory=dict)
     leaked_streams: int = 0
     leaked_flows: int = 0
@@ -104,6 +122,20 @@ class ChaosReport:
             ("sessions aborted", str(self.aborted_sessions)),
             ("leases reaped", str(self.leases_reaped)),
         ]
+        if self.manager_crashes:
+            rows.extend(
+                [
+                    ("manager crashes", str(self.manager_crashes)),
+                    ("journal replays", str(self.recoveries)),
+                    ("  orphans compensated", str(self.recovered_orphans)),
+                    ("  expired during outage", str(self.recovered_expired)),
+                    ("  choicePeriod re-armed", str(self.recovered_rearmed)),
+                    ("  sessions preserved", str(self.recovered_active)),
+                    ("  terminal redo releases", str(self.recovered_redo)),
+                    ("supervisor releases", str(self.supervisor_releases)),
+                    ("journal records", str(self.journal_records)),
+                ]
+            )
         for name, value in sorted(self.fault_stats.items()):
             if value:
                 rows.append((f"fault: {name}", f"{value:g}"))
@@ -134,12 +166,14 @@ def run_chaos(spec: ChaosSpec) -> "tuple[ChaosReport, Scenario]":
         failure_threshold=spec.breaker_threshold,
         recovery_time_s=spec.breaker_recovery_s,
     )
+    journal = ReservationJournal()
     scenario = build_scenario(
         spec.scenario,
         retry_policy=spec.retry,
         health=health,
         lease_ttl_s=spec.lease_ttl_s,
         retry_seed=spec.seed,
+        journal=journal,
     )
     injector = FaultInjector(
         spec.plan,
@@ -147,8 +181,15 @@ def run_chaos(spec: ChaosSpec) -> "tuple[ChaosReport, Scenario]":
         attempt_timeout_s=spec.retry.attempt_timeout_s,
     )
     injector.install(scenario.servers, scenario.transport)
+    injector.install_journal(journal)
     injector.arm(scenario.loop)
     runtime = scenario.runtime(monitor_period_s=spec.monitor_period_s)
+    supervisor = SessionSupervisor(
+        clock=scenario.clock,
+        runtime=runtime,
+        heartbeat_timeout_s=spec.supervisor_timeout_s,
+        period_s=spec.supervisor_period_s,
+    )
 
     profiles = ProfileManager()
     if spec.profile_name not in profiles:
@@ -185,17 +226,67 @@ def run_chaos(spec: ChaosSpec) -> "tuple[ChaosReport, Scenario]":
         except ConfirmationTimeout:
             pass  # choicePeriod elapsed; reservation already returned
 
+    committer = scenario.manager.committer
+
+    def recover() -> None:
+        """Simulated manager restart: volatile state (leases, in-flight
+        negotiations) is gone; the journal + ledgers are what survive."""
+        report.manager_crashes += 1
+        if committer.leases is not None:
+            committer.leases = LeaseManager(ttl_s=spec.lease_ttl_s)
+        recovery = RecoveryManager(
+            journal,
+            scenario.servers,
+            scenario.transport,
+            clock=scenario.clock,
+        )
+        # Recovery itself must not be re-killed by the same injector
+        # hook mid-replay; its appends are not crash opportunities.
+        journal.crash_hook = None
+        try:
+            rec_report = recovery.replay(
+                loop=scenario.loop, supervisor=supervisor
+            )
+        finally:
+            injector.install_journal(journal)
+        report.recoveries += 1
+        report.recovered_orphans += rec_report.orphans_released
+        report.recovered_expired += rec_report.expired_released
+        report.recovered_rearmed += rec_report.rearmed
+        report.recovered_active += rec_report.active_sessions
+        report.recovered_redo += rec_report.redo_released
+        # Reconcile the runtime against the replay.  Playouts whose
+        # timeline is still active survived the crash (client + servers
+        # kept streaming): watch them by progress instead of waiting
+        # for an explicit heartbeat that the simulated client never
+        # sends.  A session the journal already closed — the crash
+        # struck mid-teardown, after RELEASED was journaled — is stale
+        # and is finalized now, or it would pin the monitor sweep
+        # forever.
+        for session in list(runtime.sessions.values()):
+            outcome = rec_report.outcomes.get(session.holder)
+            if outcome == HolderOutcome.ACTIVE:
+                supervisor.forget(session.holder)
+                supervisor.watch(session)
+            else:
+                runtime.abort_session(session)
+        supervisor.arm(scenario.loop)
+
     for index in range(spec.requests):
         scenario.loop.at(
             scenario.loop.now + index * spec.request_spacing_s,
             lambda i=index: submit(i),
             label=f"chaos-request-{index + 1}",
         )
-    scenario.loop.run()
+    while True:
+        try:
+            scenario.loop.run()
+            break
+        except ManagerCrashError:
+            recover()
 
     # Final reaping pass: zombies left by releases that were swallowed
     # while their fault window was still open are collected now.
-    committer = scenario.manager.committer
     committer.reap_expired(scenario.clock.now())
 
     for session in runtime.finished:
@@ -208,6 +299,8 @@ def run_chaos(spec: ChaosSpec) -> "tuple[ChaosReport, Scenario]":
             report.aborted_sessions += 1
 
     report.retry_after_hints = tuple(hints)
+    report.supervisor_releases = supervisor.stats.sessions_released
+    report.journal_records = len(journal)
     report.commit_attempts = committer.stats.attempts
     report.retries = committer.stats.retries
     report.breaker_skips = committer.stats.breaker_skips

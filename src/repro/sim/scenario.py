@@ -111,6 +111,7 @@ def build_scenario(
     health=None,
     lease_ttl_s: "float | None" = None,
     retry_seed: int = 0,
+    journal=None,
 ) -> Scenario:
     """Build the default deployment from ``spec``."""
     spec = spec or ScenarioSpec()
@@ -207,6 +208,7 @@ def build_scenario(
         health=health,
         lease_ttl_s=lease_ttl_s,
         retry_seed=retry_seed,
+        journal=journal,
     )
     return Scenario(
         spec=spec,

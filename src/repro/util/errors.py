@@ -34,6 +34,9 @@ __all__ = [
     "TransientFaultError",
     "FaultTimeoutError",
     "LeaseError",
+    "ManagerCrashError",
+    "JournalError",
+    "RecoveryError",
     "NegotiationError",
     "ProfileError",
     "OfferError",
@@ -161,6 +164,28 @@ class FaultTimeoutError(FaultError):
 
 class LeaseError(ReproError):
     """A reservation lease was missing, duplicated, or already expired."""
+
+
+class ManagerCrashError(FaultError):
+    """An injected QoS-manager crash: the manager process dies mid-flight
+    and every in-memory negotiation is lost.  NOT retryable from inside
+    the manager — recovery happens by replaying the reservation journal
+    after restart (see :mod:`repro.journal`)."""
+
+
+# --------------------------------------------------------------------------
+# reservation journal / crash recovery
+# --------------------------------------------------------------------------
+
+class JournalError(ReproError):
+    """The write-ahead reservation journal is corrupt or was misused
+    (non-monotonic sequence numbers, checksum mismatch away from the
+    tail, appends after close)."""
+
+
+class RecoveryError(ReproError):
+    """The crash-recovery replay could not reconcile the journal with
+    the live resource ledgers."""
 
 
 # --------------------------------------------------------------------------

@@ -27,6 +27,10 @@ RULE_FIXTURES = {
         "flagging/repro/core/rep009_flag.py",
         "passing/repro/core/rep009_pass.py",
     ),
+    "REP010": (
+        "flagging/repro/session/rep010_flag.py",
+        "passing/repro/session/rep010_pass.py",
+    ),
 }
 
 

@@ -1,0 +1,109 @@
+"""Journal record serialization: round-trip, checksums, malformations."""
+
+import json
+
+import pytest
+
+from repro.journal import (
+    ACTIVE_TYPES,
+    JournalRecord,
+    JournalRecordType,
+    TERMINAL_TYPES,
+)
+from repro.util.errors import JournalError
+
+
+def make_record(**overrides):
+    defaults = dict(
+        sequence=1,
+        record_type=JournalRecordType.RESERVED,
+        holder="session-1",
+        timestamp=12.5,
+        payload={"offer_id": "offer-1", "choice_period_s": 60.0},
+    )
+    defaults.update(overrides)
+    return JournalRecord(**defaults)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("record_type", list(JournalRecordType))
+    def test_every_type_round_trips(self, record_type):
+        record = make_record(record_type=record_type)
+        assert JournalRecord.from_line(record.to_line()) == record
+
+    def test_payload_survives_nesting(self):
+        record = make_record(
+            payload={
+                "streams": [{"server_id": "server-a", "stream_id": "s/1"}],
+                "flows": [],
+                "reason": "teardown",
+            }
+        )
+        parsed = JournalRecord.from_line(record.to_line())
+        assert parsed.payload == record.payload
+
+    def test_line_is_one_json_object_with_crc(self):
+        blob = json.loads(make_record().to_line())
+        assert blob["crc"] == make_record().checksum()
+        assert "\n" not in make_record().to_line()
+
+
+class TestValidation:
+    def test_sequence_must_be_positive(self):
+        with pytest.raises(JournalError):
+            make_record(sequence=0)
+
+    def test_holder_must_be_non_empty(self):
+        with pytest.raises(JournalError):
+            make_record(holder="")
+
+    def test_unknown_type_rejected(self):
+        line = make_record().to_line().replace('"reserved"', '"exploded"')
+        with pytest.raises(JournalError):
+            JournalRecord.from_line(line)
+
+    def test_corrupted_payload_fails_checksum(self):
+        line = make_record().to_line().replace("offer-1", "offer-2")
+        with pytest.raises(JournalError, match="checksum"):
+            JournalRecord.from_line(line)
+
+    def test_truncated_line_rejected(self):
+        line = make_record().to_line()
+        with pytest.raises(JournalError):
+            JournalRecord.from_line(line[: len(line) // 2])
+
+    def test_non_object_line_rejected(self):
+        with pytest.raises(JournalError):
+            JournalRecord.from_line("[1, 2, 3]")
+
+    def test_missing_crc_rejected(self):
+        blob = json.loads(make_record().to_line())
+        del blob["crc"]
+        with pytest.raises(JournalError):
+            JournalRecord.from_line(json.dumps(blob))
+
+
+class TestTaxonomy:
+    def test_terminal_types_end_ownership(self):
+        assert TERMINAL_TYPES == {
+            JournalRecordType.RELEASED,
+            JournalRecordType.EXPIRED,
+        }
+        for record_type in JournalRecordType:
+            assert make_record(record_type=record_type).is_terminal == (
+                record_type in TERMINAL_TYPES
+            )
+
+    def test_active_types_mean_playing(self):
+        assert ACTIVE_TYPES == {
+            JournalRecordType.CONFIRMED,
+            JournalRecordType.ADAPT_SWITCH,
+        }
+
+    def test_describe_names_the_reason(self):
+        record = make_record(
+            record_type=JournalRecordType.RELEASED,
+            payload={"reason": "lease-reaped"},
+        )
+        assert "lease-reaped" in record.describe()
+        assert "session-1" in record.describe()
