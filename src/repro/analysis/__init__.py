@@ -8,7 +8,7 @@ and failures must flow through the :mod:`repro.util.errors` taxonomy.
 This package enforces those invariants mechanically:
 
 * a rule registry (:mod:`repro.analysis.registry`) with one module per
-  rule under :mod:`repro.analysis.rules` (REP001..REP009);
+  rule under :mod:`repro.analysis.rules` (REP001..REP011);
 * a per-file visitor pipeline (:mod:`repro.analysis.engine`) producing
   precise ``file:line`` findings with rule ids and fix hints;
 * text/JSON reporters (:mod:`repro.analysis.report`);

@@ -14,6 +14,7 @@ REP007    paper-constant drift (literals duplicating named anchors)
 REP008    offer immutability (Offer dataclasses must be frozen)
 REP009    typed core: full annotations in core/faults/analysis
 REP010    journaled transition: no unlogged commitment state flips
+REP011    no naked timing; metric names registered in the catalog
 ========  ==========================================================
 """
 
@@ -27,6 +28,7 @@ from . import (  # noqa: F401  (imports register the rules)
     floats,
     immutability,
     journaled,
+    naked_timing,
     pairing,
     taxonomy,
     typedcore,
@@ -40,6 +42,7 @@ __all__ = [
     "floats",
     "immutability",
     "journaled",
+    "naked_timing",
     "pairing",
     "taxonomy",
     "typedcore",

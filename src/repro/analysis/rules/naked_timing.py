@@ -1,0 +1,111 @@
+"""REP011 — no naked timing or unregistered metric names.
+
+Observability must flow through the telemetry layer, not around it:
+
+* **Naked timing.**  A span's duration comes from the injected
+  :class:`~repro.util.clock.ManualClock` — never from a stopwatch built
+  on ``time.time()`` / ``time.perf_counter()``.  REP001 already bans
+  the dotted forms; this rule closes the ``from time import
+  perf_counter`` loophole where the call site shows only a bare name.
+* **Unregistered metrics.**  Every counter/gauge/histogram name passed
+  to ``telemetry.count`` / ``metrics.observe`` / ``gauge_set`` /
+  ``gauge_add`` must exist in the :mod:`repro.telemetry.catalog` —
+  the registry raises at runtime, but only on the code path that fires
+  the metric; the lint catches a typo on every path.  The telemetry
+  package itself (which defines and validates the catalog) is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from ..astutil import dotted_name
+from ..registry import make_finding, rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..context import ModuleContext
+    from ..findings import Finding
+
+RULE_ID = "REP011"
+
+# time-module members that read a wall/process clock.
+_TIMING_MEMBERS = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+}
+
+# Metric-recording methods whose first argument is a catalog name.
+_METRIC_METHODS = {"count", "observe", "gauge_set", "gauge_add"}
+
+# Receivers that are telemetry hubs or metric registries.
+_METRIC_RECEIVERS = {"metrics", "telemetry"}
+
+
+def _is_metric_receiver(segment: str) -> bool:
+    return segment.lstrip("_") in _METRIC_RECEIVERS
+
+
+def _timing_aliases(tree: ast.Module) -> "dict[str, str]":
+    """Local alias -> original ``time`` member for from-imports."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for name in node.names:
+                if name.name in _TIMING_MEMBERS:
+                    aliases[name.asname or name.name] = name.name
+    return aliases
+
+
+def _registered_metric_names() -> "frozenset[str]":
+    from ...telemetry.catalog import metric_names
+
+    return metric_names()
+
+
+@rule(
+    RULE_ID,
+    "naked-timing",
+    "no from-imported wall clocks; metric names must be in the catalog",
+    "take timestamps from the injected ManualClock (span start/end "
+    "come from Telemetry) and register every metric name in "
+    "repro.telemetry.catalog.METRICS before recording it",
+)
+def check(ctx: "ModuleContext") -> "Iterator[Finding]":
+    in_telemetry = ctx.in_package("repro", "telemetry")
+    aliases = _timing_aliases(ctx.tree)
+    catalog = _registered_metric_names()
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name is None:
+            continue
+        if name in aliases:
+            yield make_finding(
+                ctx, RULE_ID, node.lineno, node.col_offset,
+                f"naked timing call `{name}()` "
+                f"(from-imported `time.{aliases[name]}`)",
+            )
+            continue
+        if in_telemetry:
+            continue
+        parts = name.split(".")
+        if (
+            len(parts) >= 2
+            and parts[-1] in _METRIC_METHODS
+            and _is_metric_receiver(parts[-2])
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+            and node.args[0].value not in catalog
+        ):
+            yield make_finding(
+                ctx, RULE_ID, node.lineno, node.col_offset,
+                f"metric name {node.args[0].value!r} is not registered "
+                f"in the telemetry catalog",
+            )

@@ -13,8 +13,12 @@ Subcommands exercising the library from a shell:
 * ``recover`` — kill the QoS manager at a chosen crash opportunity,
   then replay the write-ahead reservation journal and report the
   reconciliation (zero leaked capacity, preserved sessions);
+* ``trace`` — run one fully traced negotiation and print the span tree
+  plus the per-step offer accounting (drop counts and reasons);
+* ``stats`` — run a telemetry-instrumented chaos or workload run and
+  print the metrics snapshot plus the journal reconciliation audit;
 * ``experiments`` — list the E-series experiment index;
-* ``lint`` — run the reprolint project-invariant checks (REP001..REP009),
+* ``lint`` — run the reprolint project-invariant checks (REP001..REP011),
   exiting nonzero on findings;
 * ``typecheck`` — run the strict mypy gate over the typed core
   (skipped gracefully when mypy is not installed).
@@ -60,11 +64,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_telemetry_argument(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--telemetry", default=None, metavar="PATH",
+            help="write the run's trace spans to PATH as JSONL",
+        )
+
     demo = sub.add_parser("demo", help="negotiate one article end to end")
     demo.add_argument("--profile", default="balanced",
                       help="stock profile name (default: balanced)")
     demo.add_argument("--documents", type=int, default=3,
                       help="catalogue size of the built-in deployment")
+    add_telemetry_argument(demo)
 
     windows = sub.add_parser("windows", help="render the Sec 8 GUI windows")
     windows.add_argument("--profile", default="balanced")
@@ -80,6 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=1)
     sweep.add_argument("--servers", type=int, default=2)
     sweep.add_argument("--no-adaptation", action="store_true")
+    add_telemetry_argument(sweep)
 
     chaos = sub.add_parser(
         "chaos", help="run negotiation + playout under a fault plan"
@@ -102,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--lease-ttl", type=float, default=120.0)
     chaos.add_argument("--max-attempts", type=int, default=3,
                        help="retry attempts per reservation call")
+    add_telemetry_argument(chaos)
 
     recover = sub.add_parser(
         "recover",
@@ -125,6 +138,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     recover.add_argument("--journal-describe", action="store_true",
                          help="print the journal's record timeline")
+    add_telemetry_argument(recover)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one fully traced negotiation and print the span tree",
+    )
+    trace.add_argument("--seed", type=int, default=7,
+                       help="telemetry seed (trace/span ids; default 7)")
+    trace.add_argument("--profile", default="balanced")
+    trace.add_argument("--documents", type=int, default=3)
+    trace.add_argument("--document", default=None,
+                       help="document id (default: the first in the catalogue)")
+    trace.add_argument("--json", action="store_true",
+                       help="print the negotiation report as JSON")
+    add_telemetry_argument(trace)
+
+    stats = sub.add_parser(
+        "stats",
+        help="run an instrumented chaos or workload run, print metrics",
+    )
+    stats.add_argument("--mode", default="chaos",
+                       choices=["chaos", "workload"])
+    stats.add_argument("--seed", type=int, default=1)
+    stats.add_argument("--requests", type=int, default=4,
+                       help="chaos-mode request count")
+    stats.add_argument("--servers", type=int, default=3)
+    stats.add_argument("--rate", type=float, default=0.1,
+                       help="workload-mode arrival rate, requests/s")
+    stats.add_argument("--horizon", type=float, default=300.0,
+                       help="workload-mode horizon, seconds")
+    stats.add_argument("--profile", default="balanced")
+    stats.add_argument("--json", action="store_true",
+                       help="emit one canonical JSON document")
+    add_telemetry_argument(stats)
 
     sub.add_parser("experiments", help="list the experiment index")
 
@@ -150,13 +197,29 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _attach_jsonl(scenario, path):
+    """Wire a JSONL span exporter into a telemetry-enabled scenario;
+    returns the exporter (or None when telemetry is off / no path)."""
+    if path is None or scenario.telemetry is None:
+        return None
+    from .telemetry import JsonlSpanExporter
+
+    exporter = JsonlSpanExporter(path)
+    scenario.telemetry.tracer.add_exporter(exporter)
+    return exporter
+
+
 def _cmd_demo(args) -> int:
     from .client import ClientMachine
     from .core import ProfileManager
     from .sim import ScenarioSpec, build_scenario
     from .ui import information_window, main_window
 
-    scenario = build_scenario(ScenarioSpec(document_count=args.documents))
+    scenario = build_scenario(
+        ScenarioSpec(document_count=args.documents),
+        telemetry_seed=0 if args.telemetry is not None else None,
+    )
+    exporter = _attach_jsonl(scenario, args.telemetry)
     profiles = ProfileManager()
     if args.profile not in profiles:
         print(f"unknown profile {args.profile!r}; have {profiles.names()}",
@@ -180,6 +243,9 @@ def _cmd_demo(args) -> int:
         print(f"\nsession {session.session_id}: {session.state.value} "
               f"(offer {result.chosen.offer.offer_id}, "
               f"cost {result.chosen.offer.cost})")
+    if exporter is not None:
+        exporter.close()
+        print(f"\n[trace: {exporter.exported} spans -> {args.telemetry}]")
     return 0
 
 
@@ -235,7 +301,11 @@ def _cmd_sweep(args) -> int:
         "cost-only": CostOnlyNegotiator,
         "qos-only": QoSOnlyNegotiator,
     }
-    scenario = build_scenario(ScenarioSpec(server_count=args.servers))
+    scenario = build_scenario(
+        ScenarioSpec(server_count=args.servers),
+        telemetry_seed=args.seed if args.telemetry is not None else None,
+    )
+    exporter = _attach_jsonl(scenario, args.telemetry)
     requests = generate_requests(
         WorkloadSpec(arrival_rate_per_s=args.rate, horizon_s=args.horizon),
         scenario.document_ids(),
@@ -260,6 +330,9 @@ def _cmd_sweep(args) -> int:
         stats.statuses.as_dict().items(), key=lambda kv: -kv[1]
     ):
         print(f"  {status:<22} {count}")
+    if exporter is not None:
+        exporter.close()
+        print(f"\n[trace: {exporter.exported} spans -> {args.telemetry}]")
     return 0
 
 
@@ -297,6 +370,8 @@ def _cmd_chaos(args) -> int:
             profile_name=args.profile,
             retry=RetryPolicy(max_attempts=args.max_attempts),
             lease_ttl_s=args.lease_ttl,
+            telemetry_seed=args.seed if args.telemetry is not None else None,
+            telemetry_jsonl=args.telemetry,
         )
         print(plan.describe())
         print()
@@ -329,6 +404,8 @@ def _cmd_recover(args) -> int:
             profile_name=args.profile,
             crash_opportunity=args.crash_after,
             journal_path=args.journal,
+            telemetry_seed=args.seed if args.telemetry is not None else None,
+            telemetry_jsonl=args.telemetry,
         )
         report, _scenario = run_crash_recovery(spec)
     except (NotFoundError, SimulationError, ValidationError) as error:
@@ -343,6 +420,183 @@ def _cmd_recover(args) -> int:
               "smaller --crash-after", file=sys.stderr)
     if report.recovery is not None and not report.recovery.leak_free:
         print("\nWARNING: capacity leaked through recovery", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from .core import ProfileManager
+    from .sim import ScenarioSpec, build_scenario
+    from .telemetry import (
+        InMemorySpanExporter,
+        NegotiationReport,
+        render_span_tree,
+    )
+    from .util.errors import (
+        ConfirmationTimeout,
+        NotFoundError,
+        SimulationError,
+        ValidationError,
+    )
+
+    profiles = ProfileManager()
+    if args.profile not in profiles:
+        print(f"unknown profile {args.profile!r}; have {profiles.names()}",
+              file=sys.stderr)
+        return 2
+    profile = profiles.get(args.profile)
+    jsonl = None
+    try:
+        scenario = build_scenario(
+            ScenarioSpec(document_count=args.documents),
+            telemetry_seed=args.seed,
+        )
+        memory = InMemorySpanExporter()
+        scenario.telemetry.tracer.add_exporter(memory)
+        jsonl = _attach_jsonl(scenario, args.telemetry)
+        document_id = args.document or scenario.document_ids()[0]
+        client = scenario.any_client()
+        result = scenario.manager.negotiate(document_id, profile, client)
+    except (NotFoundError, SimulationError, ValidationError) as error:
+        if jsonl is not None:
+            jsonl.close()
+        print(f"bad trace run: {error}", file=sys.stderr)
+        return 2
+    if result.commitment is not None:
+        try:
+            result.commitment.confirm(scenario.clock.now())
+        except ConfirmationTimeout:
+            pass
+        result.commitment.release()
+    if jsonl is not None:
+        jsonl.close()
+    # Rebuild the report from the exported spans so the post-negotiation
+    # step-6 confirmation span is included.
+    report = NegotiationReport.from_spans(memory.spans)
+    if args.json:
+        print(json.dumps(report.as_dict(), sort_keys=True, indent=2))
+        return 0
+    print(render_span_tree(memory.spans))
+    print()
+    print(report.render())
+    if jsonl is not None:
+        print(f"\n[trace: {jsonl.exported} spans -> {args.telemetry}]")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    import json
+
+    from .core import ProfileManager
+    from .telemetry import reconcile_journal
+    from .util.errors import NotFoundError, SimulationError, ValidationError
+
+    if args.profile not in ProfileManager():
+        print(f"unknown profile {args.profile!r}; have "
+              f"{ProfileManager().names()}", file=sys.stderr)
+        return 2
+
+    try:
+        if args.mode == "chaos":
+            from .faults import FaultPlan, RetryPolicy, parse_fault_spec
+            from .sim import ChaosSpec, ScenarioSpec, run_chaos
+
+            plan = FaultPlan(
+                (
+                    parse_fault_spec("crash:server-a:2:20"),
+                    parse_fault_spec("flap:L-client-1:30:15"),
+                ),
+                seed=args.seed,
+            )
+            spec = ChaosSpec(
+                scenario=ScenarioSpec(server_count=args.servers),
+                plan=plan,
+                seed=args.seed,
+                requests=args.requests,
+                profile_name=args.profile,
+                retry=RetryPolicy(),
+                telemetry_seed=args.seed,
+                telemetry_jsonl=args.telemetry,
+            )
+            chaos_report, scenario = run_chaos(spec)
+            clean = chaos_report.clean_teardown
+            extra = {
+                "clean_teardown": clean,
+                "negotiations": chaos_report.negotiations,
+                "breaker_opens": chaos_report.breaker_opens,
+                "retries": chaos_report.retries,
+                "manager_crashes": chaos_report.manager_crashes,
+            }
+        else:
+            from .sim import (
+                RunConfig,
+                ScenarioSpec,
+                SmartNegotiator,
+                WorkloadSpec,
+                build_scenario,
+                generate_requests,
+                run_workload,
+            )
+
+            scenario = build_scenario(
+                ScenarioSpec(server_count=args.servers),
+                telemetry_seed=args.seed,
+            )
+            jsonl = _attach_jsonl(scenario, args.telemetry)
+            requests = generate_requests(
+                WorkloadSpec(arrival_rate_per_s=args.rate,
+                             horizon_s=args.horizon),
+                scenario.document_ids(),
+                list(scenario.clients),
+                rng=args.seed,
+            )
+            run_workload(
+                scenario, SmartNegotiator(scenario.manager), requests,
+                config=RunConfig(),
+            )
+            if jsonl is not None:
+                jsonl.close()
+            clean = (
+                sum(s.stream_count for s in scenario.servers.values()) == 0
+                and scenario.transport.flow_count == 0
+            )
+            extra = {"clean_teardown": clean, "requests": len(requests)}
+    except (NotFoundError, SimulationError, ValidationError) as error:
+        print(f"bad stats run: {error}", file=sys.stderr)
+        return 2
+
+    telemetry = scenario.telemetry
+    journal = scenario.manager.committer.journal
+    reconciliation = (
+        reconcile_journal(journal, telemetry.metrics)
+        if journal is not None
+        else None
+    )
+    balanced = reconciliation is None or reconciliation["balanced"]
+    if args.json:
+        document = {
+            "mode": args.mode,
+            "seed": args.seed,
+            "run": extra,
+            "metrics": telemetry.metrics.snapshot(),
+            "reconciliation": reconciliation,
+        }
+        print(json.dumps(document, sort_keys=True, indent=2))
+    else:
+        print(telemetry.metrics.render())
+        if reconciliation is not None:
+            print()
+            print("journal reconciliation:")
+            for key, value in sorted(reconciliation.items()):
+                print(f"  {key}: {value}")
+        print()
+        for key, value in sorted(extra.items()):
+            print(f"  {key}: {value}")
+    if not clean or not balanced:
+        print("\nWARNING: run leaked reservations or the journal does "
+              "not reconcile", file=sys.stderr)
         return 1
     return 0
 
@@ -402,6 +656,8 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         "sweep": _cmd_sweep,
         "chaos": _cmd_chaos,
         "recover": _cmd_recover,
+        "trace": _cmd_trace,
+        "stats": _cmd_stats,
         "experiments": _cmd_experiments,
         "report": _cmd_report,
         "lint": _cmd_lint,

@@ -58,6 +58,9 @@ class MediaServer:
         # Thin fault-injection hook (see repro.faults.injector); None in
         # production paths so the happy path costs one identity check.
         self.fault_hook = None
+        # Observability seam (see repro.telemetry): assign a hub and
+        # admissions/releases are counted per server.
+        self.telemetry = None
 
     # -- capacity state -----------------------------------------------------------
 
@@ -109,6 +112,10 @@ class MediaServer:
         )
         self._streams[stream_id] = reservation
         self.scheduler.add_stream(stream_id, rate_bps)
+        if self.telemetry is not None:
+            self.telemetry.count(
+                "server.streams.reserved", server=self.server_id
+            )
         return reservation
 
     def release(self, reservation: "StreamReservation | str") -> None:
@@ -126,6 +133,10 @@ class MediaServer:
                 f"{self.server_id}: no stream {stream_id!r}"
             )
         self.scheduler.remove_stream(stream_id)
+        if self.telemetry is not None:
+            self.telemetry.count(
+                "server.streams.released", server=self.server_id
+            )
 
     def release_all(self) -> None:
         for stream_id in list(self._streams):

@@ -112,6 +112,16 @@ class AdaptationManager:
             },
         )
 
+    @staticmethod
+    def _outcome_label(outcome: AdaptationOutcome) -> str:
+        if outcome.switched:
+            return "switched"
+        if outcome.reverted:
+            return "reverted"
+        if outcome.resources_lost:
+            return "resources-lost"
+        return "blocked"
+
     def adapt(
         self,
         result: NegotiationResult,
@@ -133,6 +143,35 @@ class AdaptationManager:
         automatically.  On failure the old reservation is left in place
         — a degraded session is still a session.
         """
+        telemetry = self.manager.telemetry
+        with telemetry.span(
+            "adaptation.switch",
+            strategy=self.strategy.value,
+            position_s=position_s,
+        ):
+            outcome = self._adapt(
+                result,
+                profile,
+                client,
+                position_s=position_s,
+                exclude_offer_ids=exclude_offer_ids,
+            )
+            label = self._outcome_label(outcome)
+            telemetry.annotate(
+                outcome=label, old_offer=outcome.old_offer_id
+            )
+        telemetry.count("adaptation.switches", outcome=label)
+        return outcome
+
+    def _adapt(
+        self,
+        result: NegotiationResult,
+        profile: UserProfile,
+        client: ClientMachine,
+        *,
+        position_s: float,
+        exclude_offer_ids: frozenset[str] = frozenset(),
+    ) -> AdaptationOutcome:
         if result.commitment is None or result.chosen is None:
             raise AdaptationError(
                 "adaptation needs an active commitment to move away from"

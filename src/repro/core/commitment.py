@@ -37,6 +37,7 @@ from ..network.transport import (
     GuaranteeType,
     TransportSystem,
 )
+from ..telemetry import Telemetry
 from ..util.clock import ManualClock
 from ..util.errors import (
     AdmissionError,
@@ -115,6 +116,7 @@ class ResourceCommitter:
         lease_ttl_s: "float | None" = None,
         retry_seed: int = 0,
         journal: "ReservationJournal | None" = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         self._transport = transport
         self._servers = dict(servers)
@@ -125,6 +127,7 @@ class ResourceCommitter:
             LeaseManager(ttl_s=lease_ttl_s) if lease_ttl_s is not None else None
         )
         self.journal = journal
+        self.telemetry = telemetry or Telemetry.disabled()
         self.stats = CommitStats()
         self._retry_rng = make_rng(retry_seed)
 
@@ -172,14 +175,19 @@ class ResourceCommitter:
         attempt outcomes into the health tracker."""
         now = self._clock.now
         health = self.health
+        telemetry = self.telemetry
+        target = server_id if server_id is not None else "network"
 
         def on_retry(attempt: int, error: BaseException, delay: float) -> None:
             self.stats.retries += 1
             self.stats.attempts += 1
+            telemetry.count("admission.retries", target=target)
+            telemetry.count("admission.attempts", target=target)
             if health is not None and server_id is not None:
                 health.record_failure(server_id, now())
 
         self.stats.attempts += 1
+        telemetry.count("admission.attempts", target=target)
         try:
             if self.retry_policy is None:
                 result = fn()
@@ -194,6 +202,7 @@ class ResourceCommitter:
             # Narrow by design (REP003): every fault the injector or the
             # substrate raises is a ReproError; anything else is a bug
             # that must surface unrecorded.
+            telemetry.count("admission.refusals", target=target)
             if (
                 health is not None
                 and server_id is not None
@@ -254,7 +263,9 @@ class ResourceCommitter:
                         )
                     )
                 )
-        except COMMIT_FAILURES:
+        except COMMIT_FAILURES as error:
+            self.telemetry.count("commitment.rollbacks")
+            self.telemetry.annotate(refusal=type(error).__name__)
             self.journal_event(
                 JournalRecordType.RELEASED,
                 holder,
@@ -337,6 +348,7 @@ class ResourceCommitter:
             return 0
         now = self._clock.now() if now is None else now
         reaped = 0
+        started = now
         for lease in self.leases.due(now):
             self.journal_event(
                 JournalRecordType.RELEASED,
@@ -349,6 +361,14 @@ class ResourceCommitter:
                 self.leases.collect(lease)
                 reaped += 1
         self.stats.leases_reaped += reaped
+        if reaped:
+            self.telemetry.count("leases.reaped", float(reaped))
+            self.telemetry.tracer.emit(
+                "lease.reap",
+                start_s=started,
+                end_s=self._clock.now(),
+                attributes={"reaped": reaped},
+            )
         return reaped
 
 
@@ -379,9 +399,13 @@ class Commitment:
         *,
         reserved_at: float,
         choice_period_s: float,
+        telemetry: "Telemetry | None" = None,
+        trace_context: "tuple[str, str] | None" = None,
     ) -> None:
         self.bundle = bundle
         self._committer = committer
+        self._telemetry = telemetry or Telemetry.disabled()
+        self._trace_context = trace_context
         # A zero/negative/NaN choicePeriod would expire every commitment
         # the instant it is created — reject it loudly instead.
         self.reserved_at = check_non_negative(
@@ -440,6 +464,26 @@ class Commitment:
         self._bundle_released = True
         self._committer.release(self.bundle)
 
+    def _emit_step6(self, outcome: str, now: float) -> None:
+        """Record the confirmation-wait outcome: one counter plus a
+        ``negotiation.step6.confirm`` span covering reserved->decision,
+        parented at the originating negotiation's root when known."""
+        telemetry = self._telemetry
+        telemetry.count("commitment.outcomes", state=outcome)
+        if not telemetry.enabled:
+            return
+        telemetry.tracer.emit(
+            "negotiation.step6.confirm",
+            start_s=self.reserved_at,
+            end_s=now,
+            parent=self._trace_context,
+            attributes={
+                "outcome": outcome,
+                "wait_s": now - self.reserved_at,
+                "holder": self.bundle.holder,
+            },
+        )
+
     def _expire_if_due(self, now: float) -> None:
         if self.state is CommitmentState.PENDING and now > self.deadline:
             self._journal_transition(
@@ -447,6 +491,7 @@ class Commitment:
                 {"offer_id": self.bundle.offer.offer_id},
             )
             self.state = CommitmentState.EXPIRED
+            self._emit_step6("expired", now)
             self._release_bundle()
 
     def confirm(self, now: float) -> None:
@@ -468,6 +513,7 @@ class Commitment:
             {"offer_id": self.bundle.offer.offer_id},
         )
         self.state = CommitmentState.CONFIRMED
+        self._emit_step6("confirmed", now)
 
     def reject(self, now: float) -> None:
         """User pressed CANCEL; resources are de-allocated (§4 step 6).
@@ -488,6 +534,7 @@ class Commitment:
             {"offer_id": self.bundle.offer.offer_id, "reason": "rejected"},
         )
         self.state = CommitmentState.REJECTED
+        self._emit_step6("rejected", now)
         self._release_bundle()
 
     def expire_check(self, now: float) -> bool:
@@ -510,4 +557,5 @@ class Commitment:
             {"offer_id": self.bundle.offer.offer_id, "reason": "teardown"},
         )
         self.state = CommitmentState.RELEASED
+        self._telemetry.count("commitment.outcomes", state="released")
         self._release_bundle()

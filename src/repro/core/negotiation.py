@@ -41,6 +41,7 @@ from ..faults.retry import RetryPolicy
 from ..journal import ReservationJournal
 from ..metadata.database import MetadataDatabase
 from ..network.transport import GuaranteeType, TransportSystem
+from ..telemetry import NegotiationReport, Telemetry
 from ..util.clock import ManualClock
 from ..util.errors import NegotiationError
 from .classification import (
@@ -81,6 +82,7 @@ class NegotiationResult:
     local_violations: dict[Medium, tuple[str, ...]] = field(default_factory=dict)
     attempts: int = 0
     retry_after_s: "float | None" = None  # hint accompanying FAILEDTRYLATER
+    report: "NegotiationReport | None" = None  # trace-derived step account
 
     @property
     def succeeded(self) -> bool:
@@ -123,6 +125,7 @@ class QoSManager:
         lease_ttl_s: "float | None" = None,
         retry_seed: int = 0,
         journal: "ReservationJournal | None" = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         self.database = database
         self.cost_model = cost_model or default_cost_model()
@@ -131,6 +134,7 @@ class QoSManager:
         self.policy = policy
         self.guarantee = guarantee
         self.directory = directory  # ServerDirectory, for preferences
+        self.telemetry = telemetry or Telemetry.disabled()
         self.committer = ResourceCommitter(
             transport,
             servers,
@@ -140,6 +144,7 @@ class QoSManager:
             lease_ttl_s=lease_ttl_s,
             retry_seed=retry_seed,
             journal=journal,
+            telemetry=self.telemetry,
         )
         self._holders = itertools.count(1)
 
@@ -181,16 +186,64 @@ class QoSManager:
         max_offers: "int | None" = None,
     ) -> NegotiationResult:
         """Run steps 1–5 and wrap the reservation for step 6."""
-        if isinstance(document, str):
-            document = self.database.get_document(document)
+        telemetry = self.telemetry
+        started = self.clock.now()
+        document_id = document if isinstance(document, str) else document.document_id
+        with telemetry.span(
+            "negotiation",
+            document=document_id,
+            profile=profile.name,
+        ) as root:
+            if isinstance(document, str):
+                document = self.database.get_document(document)
+            result = self._run_steps(
+                document,
+                profile,
+                client,
+                policy=policy or self.policy,
+                guarantee=guarantee or self.guarantee,
+                max_offers=max_offers,
+            )
+            root.set_attribute("status", str(result.status))
+            root.set_attribute("attempts", result.attempts)
+        telemetry.count("negotiation.outcomes", status=str(result.status))
+        telemetry.observe(
+            "negotiation.latency_s", self.clock.now() - started
+        )
+        telemetry.observe("negotiation.attempts", float(result.attempts))
+        telemetry.observe(
+            "negotiation.offers.classified", float(len(result.classified))
+        )
+        if telemetry.enabled:
+            result.report = NegotiationReport.from_spans(
+                telemetry.tracer.last_trace()
+            )
+        return result
+
+    def _run_steps(
+        self,
+        document: Document,
+        profile: UserProfile,
+        client: ClientMachine,
+        *,
+        policy: ClassificationPolicy,
+        guarantee: GuaranteeType,
+        max_offers: "int | None",
+    ) -> NegotiationResult:
         importance = self._importance_of(profile)
-        policy = policy or self.policy
-        guarantee = guarantee or self.guarantee
+        telemetry = self.telemetry
 
         # Step 1: static local negotiation.
-        violations, local_best = self._static_local_negotiation(
-            document, profile, client
-        )
+        with telemetry.span("negotiation.step1.local") as sp1:
+            violations, local_best = self._static_local_negotiation(
+                document, profile, client
+            )
+            sp1.set_attribute("violations", len(violations))
+            if violations:
+                sp1.set_attribute(
+                    "violated_media",
+                    sorted(medium.value for medium in violations),
+                )
         if violations:
             return NegotiationResult(
                 status=NegotiationStatus.FAILED_WITH_LOCAL_OFFER,
@@ -200,31 +253,78 @@ class QoSManager:
 
         # Step 2: static compatibility checking (decoder support, plus
         # the security floor when the profile carries preferences).
-        preferences = self._preferences_of(profile)
-        variant_filter = None
-        if preferences is not None and self.directory is not None:
-            variant_filter = preferences.variant_filter(self.directory)
-        space = build_offer_space(
-            document,
-            client,
-            self.cost_model,
-            mapper=self.mapper,
-            guarantee=guarantee,
-            variant_filter=variant_filter,
-        )
+        with telemetry.span("negotiation.step2.filter") as sp2:
+            preferences = self._preferences_of(profile)
+            variant_filter = None
+            if preferences is not None and self.directory is not None:
+                variant_filter = preferences.variant_filter(self.directory)
+            space = build_offer_space(
+                document,
+                client,
+                self.cost_model,
+                mapper=self.mapper,
+                guarantee=guarantee,
+                variant_filter=variant_filter,
+            )
+            kept = sum(space.axis_sizes().values())
+            dropped = sum(len(v) for v in space.rejected.values())
+            sp2.set_attribute("offers_in", kept + dropped)
+            sp2.set_attribute("offers_out", kept)
+            sp2.set_attribute("dropped", dropped)
+            if dropped:
+                sp2.set_attribute(
+                    "drop_reasons",
+                    {
+                        monomedia: len(variants)
+                        for monomedia, variants in sorted(
+                            space.rejected.items()
+                        )
+                        if variants
+                    },
+                )
+            sp2.set_attribute("offer_count", space.offer_count)
+            telemetry.count(
+                "negotiation.offers.enumerated", float(kept + dropped)
+            )
+            if dropped:
+                telemetry.count(
+                    "negotiation.offers.dropped", float(dropped), step="2"
+                )
         if space.is_empty:
             return NegotiationResult(
                 status=NegotiationStatus.FAILED_WITHOUT_OFFER,
                 offer_space=space,
             )
 
-        # Steps 3–4: classification parameters + ordering.
-        classified = classify_space(
-            space, profile, importance, policy=policy, top_k=max_offers
-        )
-        if preferences is not None and not preferences.is_trivial:
-            classified = apply_offer_bonus(
-                classified, preferences.offer_bonus, policy=policy
+        # Step 3: classification parameters (SNS + OIF per offer).
+        with telemetry.span("negotiation.step3.parameters") as sp3:
+            classified = classify_space(
+                space, profile, importance, policy=policy, top_k=max_offers
+            )
+            cut = space.offer_count - len(classified)
+            sp3.set_attribute("offers_in", space.offer_count)
+            sp3.set_attribute("offers_out", len(classified))
+            sp3.set_attribute("dropped", cut)
+            if cut:
+                sp3.set_attribute("drop_reasons", {"top-k cut": cut})
+                telemetry.count(
+                    "negotiation.offers.dropped", float(cut), step="3"
+                )
+
+        # Step 4: classification of system offers (ordering policy).
+        with telemetry.span(
+            "negotiation.step4.classify", policy=policy.value
+        ) as sp4:
+            if preferences is not None and not preferences.is_trivial:
+                classified = apply_offer_bonus(
+                    classified, preferences.offer_bonus, policy=policy
+                )
+                sp4.set_attribute("offer_bonus", True)
+            sp4.set_attribute("offers_in", len(classified))
+            sp4.set_attribute("offers_out", len(classified))
+            sp4.set_attribute(
+                "satisfying",
+                sum(1 for c in classified if c.satisfies_user),
             )
 
         # Step 5: resource commitment.
@@ -252,7 +352,9 @@ class QoSManager:
         retry budget against a machine known to be failing."""
         holder = f"session-{next(self._holders)}"
         health = self.committer.health
+        telemetry = self.telemetry
         attempts = 0
+        skips = 0
         satisfying = [
             c for c in classified
             if c.satisfies_user and c.offer.offer_id not in exclude_offer_ids
@@ -261,56 +363,95 @@ class QoSManager:
             c for c in classified
             if not c.satisfies_user and c.offer.offer_id not in exclude_offer_ids
         ]
-        for candidate in itertools.chain(satisfying, fallback):
-            if health is not None:
-                now = self.clock.now()
-                if not all(
-                    health.allow(server_id, now)
-                    for server_id in candidate.offer.servers_used()
-                ):
-                    self.committer.stats.breaker_skips += 1
+        with telemetry.span(
+            "negotiation.step5.commit",
+            offers_in=len(satisfying) + len(fallback),
+            holder=holder,
+        ) as sp5:
+            for candidate in itertools.chain(satisfying, fallback):
+                if health is not None:
+                    now = self.clock.now()
+                    if not all(
+                        health.allow(server_id, now)
+                        for server_id in candidate.offer.servers_used()
+                    ):
+                        self.committer.stats.breaker_skips += 1
+                        skips += 1
+                        telemetry.count("breaker.skips")
+                        telemetry.count(
+                            "negotiation.offers.dropped", step="5"
+                        )
+                        with telemetry.span(
+                            "negotiation.step5.attempt",
+                            offer_id=candidate.offer.offer_id,
+                            servers=sorted(candidate.offer.servers_used()),
+                        ) as skip_span:
+                            skip_span.set_attribute(
+                                "outcome", "breaker-skip"
+                            )
+                        continue
+                attempts += 1
+                with telemetry.span(
+                    "negotiation.step5.attempt",
+                    offer_id=candidate.offer.offer_id,
+                    servers=sorted(candidate.offer.servers_used()),
+                ) as attempt_span:
+                    bundle = self.committer.try_commit(
+                        candidate.offer,
+                        space,
+                        client.access_point,
+                        guarantee=guarantee,
+                        holder=holder,
+                    )
+                    attempt_span.set_attribute(
+                        "outcome",
+                        "committed" if bundle is not None else "rolled-back",
+                    )
+                if bundle is None:
+                    telemetry.count("negotiation.offers.dropped", step="5")
                     continue
-            attempts += 1
-            bundle = self.committer.try_commit(
-                candidate.offer,
-                space,
-                client.access_point,
-                guarantee=guarantee,
-                holder=holder,
-            )
-            if bundle is None:
-                continue
-            commitment = Commitment(
-                bundle,
-                self.committer,
-                reserved_at=self.clock.now(),
-                choice_period_s=profile.choice_period_s,
-            )
-            status = (
-                NegotiationStatus.SUCCEEDED
-                if candidate.satisfies_user
-                else NegotiationStatus.FAILED_WITH_OFFER
+                commitment = Commitment(
+                    bundle,
+                    self.committer,
+                    reserved_at=self.clock.now(),
+                    choice_period_s=profile.choice_period_s,
+                    telemetry=telemetry,
+                    trace_context=telemetry.tracer.root_context(),
+                )
+                status = (
+                    NegotiationStatus.SUCCEEDED
+                    if candidate.satisfies_user
+                    else NegotiationStatus.FAILED_WITH_OFFER
+                )
+                sp5.set_attribute("attempts", attempts)
+                sp5.set_attribute("breaker_skips", skips)
+                sp5.set_attribute("outcome", str(status))
+                sp5.set_attribute("chosen", candidate.offer.offer_id)
+                return NegotiationResult(
+                    status=status,
+                    user_offer=derive_user_offer(
+                        candidate.offer, profile.desired.time
+                    ),
+                    chosen=candidate,
+                    commitment=commitment,
+                    classified=classified,
+                    offer_space=space,
+                    attempts=attempts,
+                )
+            # "If the whole set of the feasible system offers are
+            # considered and no resources are available" (§4 step 5):
+            sp5.set_attribute("attempts", attempts)
+            sp5.set_attribute("breaker_skips", skips)
+            sp5.set_attribute(
+                "outcome", str(NegotiationStatus.FAILED_TRY_LATER)
             )
             return NegotiationResult(
-                status=status,
-                user_offer=derive_user_offer(
-                    candidate.offer, profile.desired.time
-                ),
-                chosen=candidate,
-                commitment=commitment,
+                status=NegotiationStatus.FAILED_TRY_LATER,
                 classified=classified,
                 offer_space=space,
                 attempts=attempts,
+                retry_after_s=self._retry_after_hint(),
             )
-        # "If the whole set of the feasible system offers are considered
-        # and no resources are available" (§4 step 5):
-        return NegotiationResult(
-            status=NegotiationStatus.FAILED_TRY_LATER,
-            classified=classified,
-            offer_space=space,
-            attempts=attempts,
-            retry_after_s=self._retry_after_hint(),
-        )
 
     def _retry_after_hint(self) -> float:
         """When is retrying the whole negotiation first worthwhile?  The

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..util.errors import ValidationError
 from ..util.validation import check_positive
@@ -65,6 +66,21 @@ class CircuitBreaker:
         )
         self._health: dict[str, ServerHealth] = {}
         self.opens = 0  # lifetime count of CLOSED/HALF_OPEN -> OPEN trips
+        # Optional observer called as (server_id, old, new, now) on every
+        # state change — the seam repro.telemetry.observe_breaker uses.
+        self.on_transition: (
+            "Callable[[str, BreakerState, BreakerState, float], None] | None"
+        ) = None
+
+    def _notify(
+        self,
+        server_id: str,
+        old: BreakerState,
+        new: BreakerState,
+        now: float,
+    ) -> None:
+        if self.on_transition is not None and old is not new:
+            self.on_transition(server_id, old, new, now)
 
     def _record(self, server_id: str) -> ServerHealth:
         return self._health.setdefault(server_id, ServerHealth())
@@ -74,17 +90,19 @@ class CircuitBreaker:
 
     def state(self, server_id: str, now: float) -> BreakerState:
         record = self._record(server_id)
-        self._maybe_half_open(record, now)
+        self._maybe_half_open(server_id, record, now)
         return record.state
 
     # -- outcome recording ---------------------------------------------------------
 
     def record_success(self, server_id: str, now: float) -> None:
         record = self._record(server_id)
+        old = record.state
         record.successes += 1
         record.consecutive_failures = 0
         record.state = BreakerState.CLOSED
         record.opened_at = None
+        self._notify(server_id, old, BreakerState.CLOSED, now)
 
     def record_failure(self, server_id: str, now: float) -> None:
         record = self._record(server_id)
@@ -92,34 +110,41 @@ class CircuitBreaker:
         record.consecutive_failures += 1
         if record.state is BreakerState.HALF_OPEN:
             # The probe failed: back to quarantine for a fresh window.
-            self._trip(record, now)
+            self._trip(server_id, record, now)
         elif (
             record.state is BreakerState.CLOSED
             and record.consecutive_failures >= self.failure_threshold
         ):
-            self._trip(record, now)
+            self._trip(server_id, record, now)
 
-    def _trip(self, record: ServerHealth, now: float) -> None:
+    def _trip(self, server_id: str, record: ServerHealth, now: float) -> None:
+        old = record.state
         record.state = BreakerState.OPEN
         record.opened_at = now
         self.opens += 1
+        self._notify(server_id, old, BreakerState.OPEN, now)
 
     # -- admission gating ----------------------------------------------------------
 
-    def _maybe_half_open(self, record: ServerHealth, now: float) -> None:
+    def _maybe_half_open(
+        self, server_id: str, record: ServerHealth, now: float
+    ) -> None:
         if (
             record.state is BreakerState.OPEN
             and record.opened_at is not None
             and now >= record.opened_at + self.recovery_time_s - 1e-12
         ):
             record.state = BreakerState.HALF_OPEN
+            self._notify(
+                server_id, BreakerState.OPEN, BreakerState.HALF_OPEN, now
+            )
 
     def allow(self, server_id: str, now: float) -> bool:
         """May a request be sent to this server right now?  An OPEN
         breaker whose recovery window elapsed transitions to HALF_OPEN
         and admits the probe."""
         record = self._record(server_id)
-        self._maybe_half_open(record, now)
+        self._maybe_half_open(server_id, record, now)
         return record.state is not BreakerState.OPEN
 
     def quarantined(self, now: float) -> frozenset[str]:

@@ -42,6 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..network.transport import TransportSystem
     from ..session.engine import EventLoop
     from ..session.supervisor import SessionSupervisor
+    from ..telemetry import Telemetry
 
 __all__ = [
     "HolderOutcome",
@@ -177,11 +178,17 @@ class RecoveryManager:
         transport: "TransportSystem",
         *,
         clock: "ManualClock | None" = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         self.journal = journal
         self._servers = dict(servers)
         self._transport = transport
         self._clock = clock or ManualClock()
+        if telemetry is None:
+            from ..telemetry import Telemetry as _Telemetry
+
+            telemetry = _Telemetry.disabled()
+        self.telemetry = telemetry
 
     # -- journal + ledger primitives -----------------------------------------------
 
@@ -291,13 +298,25 @@ class RecoveryManager:
         )
         # Snapshot: recovery appends its own records while iterating.
         grouped = self.journal.by_holder()
-        for holder, timeline in grouped.items():
-            report.holders += 1
-            outcome = self._reconcile_holder(
-                holder, timeline, now, report, loop=loop, supervisor=supervisor
+        with self.telemetry.span(
+            "journal.replay", records=len(self.journal), holders=len(grouped)
+        ):
+            for holder, timeline in grouped.items():
+                report.holders += 1
+                outcome = self._reconcile_holder(
+                    holder, timeline, now, report,
+                    loop=loop, supervisor=supervisor,
+                )
+                report.outcomes[holder] = outcome
+            self._audit(report)
+            self.telemetry.annotate(
+                leak_free=report.leak_free,
+                streams_released=report.streams_released,
+                flows_released=report.flows_released,
             )
-            report.outcomes[holder] = outcome
-        self._audit(report)
+        self.telemetry.count("recovery.replays")
+        for outcome in report.outcomes.values():
+            self.telemetry.count("recovery.holders", outcome=outcome)
         return report
 
     def _reconcile_holder(

@@ -98,6 +98,11 @@ class ReservationJournal:
         self.fsync = fsync
         self.torn_records_dropped = 0
         self.crash_hook: "Callable[[JournalRecord], None] | None" = None
+        # Observability seam: assign a repro.telemetry.Telemetry hub and
+        # every append is counted and traced.  Plain attribute (not a
+        # constructor arg) so reopening a file journal after a crash can
+        # re-attach the same hub.
+        self.telemetry: Any = None
         self._records: "list[JournalRecord]" = []
         self._next_sequence = 1
         self._handle: "io.BufferedWriter | None" = None
@@ -173,6 +178,22 @@ class ReservationJournal:
         self._write(record)
         self._records.append(record)
         self._next_sequence += 1
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.count(
+                "journal.records", type=record.record_type.value
+            )
+            telemetry.tracer.emit(
+                "journal.append",
+                start_s=record.timestamp,
+                end_s=record.timestamp,
+                parent=telemetry.tracer.current_context(),
+                attributes={
+                    "type": record.record_type.value,
+                    "holder": record.holder,
+                    "sequence": record.sequence,
+                },
+            )
         if self.crash_hook is not None:
             self.crash_hook(record)
         return record

@@ -239,6 +239,8 @@ class HierarchicalTransport(TransportSystem):
         )
         self._flows[flow_id] = flow
         self._segments[flow_id] = done
+        if self.telemetry is not None:
+            self.telemetry.count("network.flows.reserved")
         return flow
 
     def release(self, flow: "FlowReservation | str") -> None:
@@ -250,3 +252,5 @@ class HierarchicalTransport(TransportSystem):
             raise ReservationError(f"no flow {flow_id!r}")
         for agent, links, reservations, rate in self._segments.pop(flow_id, []):
             agent.release_segment(links, reservations, rate)
+        if self.telemetry is not None:
+            self.telemetry.count("network.flows.released")

@@ -76,6 +76,9 @@ class TransportSystem:
         # Thin fault-injection hook (see repro.faults.injector); None in
         # production paths so the happy path costs one identity check.
         self.fault_hook = None
+        # Observability seam (see repro.telemetry): assign a hub and
+        # flow reservations/releases are counted.
+        self.telemetry = None
 
     @property
     def topology(self) -> Topology:
@@ -169,6 +172,8 @@ class TransportSystem:
             holder=holder,
         )
         self._flows[flow_id] = flow
+        if self.telemetry is not None:
+            self.telemetry.count("network.flows.reserved")
         return flow
 
     def release(self, flow: "FlowReservation | str") -> None:
@@ -182,6 +187,8 @@ class TransportSystem:
             record.route.links, record.link_reservations
         ):
             link.release(reservation)
+        if self.telemetry is not None:
+            self.telemetry.count("network.flows.released")
 
     def _release_intercepted(self, flow_id: str) -> bool:
         """Lost-release fault: the flow stays reserved (leaked) until the

@@ -57,6 +57,7 @@ class SessionRuntime:
         self.adaptation_enabled = adaptation_enabled
         self.monitor_period_s = monitor_period_s
         self.on_violation = on_violation
+        self.telemetry = manager.telemetry
         self.sessions: dict[str, PlayoutSession] = {}
         self.finished: list[PlayoutSession] = []
         self._ids = itertools.count(1)
@@ -91,6 +92,10 @@ class SessionRuntime:
             duration_s=duration_s,
         )
         self.sessions[session.session_id] = session
+        self.telemetry.count("session.started")
+        self.telemetry.metrics.gauge_set(
+            "sessions.active", float(len(self.sessions))
+        )
         self._schedule_completion(session)
         self._arm_monitoring()
         return session
@@ -124,6 +129,13 @@ class SessionRuntime:
     def _retire(self, session: PlayoutSession) -> None:
         self.sessions.pop(session.session_id, None)
         self.finished.append(session)
+        if session.state is SessionState.ABORTED:
+            self.telemetry.count("session.aborted")
+        else:
+            self.telemetry.count("session.completed")
+        self.telemetry.metrics.gauge_set(
+            "sessions.active", float(len(self.sessions))
+        )
 
     @property
     def active_count(self) -> int:
@@ -180,6 +192,9 @@ class SessionRuntime:
                 SessionState.ABORTED,
             ):
                 continue
+            self.telemetry.count(
+                "monitor.violations", source=violation.source
+            )
             if self.on_violation is not None:
                 self.on_violation(violation)
             if self.adaptation_enabled:

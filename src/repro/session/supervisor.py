@@ -36,6 +36,7 @@ from ..util.validation import check_positive
 from .playout import PlayoutSession, SessionState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry import Telemetry
     from .engine import EventLoop
     from .runtime import SessionRuntime
 
@@ -88,9 +89,15 @@ class SessionSupervisor:
         runtime: "SessionRuntime | None" = None,
         heartbeat_timeout_s: float = 30.0,
         period_s: float = 5.0,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         self._clock = clock
         self.runtime = runtime
+        if telemetry is None:
+            from ..telemetry import Telemetry as _Telemetry
+
+            telemetry = _Telemetry.disabled()
+        self.telemetry = telemetry
         self.heartbeat_timeout_s = check_positive(
             float(heartbeat_timeout_s), "heartbeat_timeout_s"
         )
@@ -147,7 +154,19 @@ class SessionSupervisor:
             return False
         entry.last_heartbeat = self._clock.now() if now is None else now
         self.stats.heartbeats += 1
+        self._beat(holder, entry.last_heartbeat, "client")
         return True
+
+    def _beat(self, holder: str, now: float, kind: str) -> None:
+        telemetry = self.telemetry
+        telemetry.count("supervisor.heartbeats")
+        if telemetry.enabled:
+            telemetry.tracer.emit(
+                "playout.heartbeat",
+                start_s=now,
+                end_s=now,
+                attributes={"holder": holder, "kind": kind},
+            )
 
     def forget(self, holder: str) -> None:
         self._entries.pop(holder, None)
@@ -192,6 +211,7 @@ class SessionSupervisor:
                 if entry.release is not None:
                     entry.release(now)
                 self.stats.sessions_released += 1
+                self.telemetry.count("supervisor.releases")
                 self._entries.pop(entry.holder, None)
                 acted.append(entry.holder)
         return acted
@@ -207,6 +227,7 @@ class SessionSupervisor:
             entry.last_position_s = position
             entry.last_heartbeat = now
             self.stats.heartbeats += 1
+            self._beat(entry.holder, now, "progress")
         stalled = now - entry.last_heartbeat > self.heartbeat_timeout_s
         dead = self._resources_gone(session)
         if not stalled and not dead:
@@ -262,6 +283,7 @@ class SessionSupervisor:
         else:
             session.abort(now)
         self.stats.sessions_released += 1
+        self.telemetry.count("supervisor.releases")
         self._entries.pop(entry.holder, None)
         return True
 

@@ -54,6 +54,8 @@ class ChaosSpec:
     monitor_period_s: float = 1.0
     supervisor_timeout_s: float = 60.0
     supervisor_period_s: float = 5.0
+    telemetry_seed: "int | None" = None  # None = observability off
+    telemetry_jsonl: "str | None" = None  # trace JSONL output path
 
     def __post_init__(self) -> None:
         if self.requests < 1:
@@ -174,7 +176,14 @@ def run_chaos(spec: ChaosSpec) -> "tuple[ChaosReport, Scenario]":
         lease_ttl_s=spec.lease_ttl_s,
         retry_seed=spec.seed,
         journal=journal,
+        telemetry_seed=spec.telemetry_seed,
     )
+    exporter = None
+    if spec.telemetry_jsonl is not None and scenario.telemetry is not None:
+        from ..telemetry import JsonlSpanExporter
+
+        exporter = JsonlSpanExporter(spec.telemetry_jsonl)
+        scenario.telemetry.tracer.add_exporter(exporter)
     injector = FaultInjector(
         spec.plan,
         clock=scenario.clock,
@@ -189,6 +198,7 @@ def run_chaos(spec: ChaosSpec) -> "tuple[ChaosReport, Scenario]":
         runtime=runtime,
         heartbeat_timeout_s=spec.supervisor_timeout_s,
         period_s=spec.supervisor_period_s,
+        telemetry=scenario.telemetry,
     )
 
     profiles = ProfileManager()
@@ -239,6 +249,7 @@ def run_chaos(spec: ChaosSpec) -> "tuple[ChaosReport, Scenario]":
             scenario.servers,
             scenario.transport,
             clock=scenario.clock,
+            telemetry=scenario.telemetry,
         )
         # Recovery itself must not be re-killed by the same injector
         # hook mid-replay; its appends are not crash opportunities.
@@ -312,4 +323,6 @@ def run_chaos(spec: ChaosSpec) -> "tuple[ChaosReport, Scenario]":
     )
     report.leaked_flows = scenario.transport.flow_count
     report.leaked_bps = scenario.topology.total_reserved_bps()
+    if exporter is not None:
+        exporter.close()
     return report, scenario

@@ -47,6 +47,8 @@ class CrashRecoverySpec:
     journal_path: "str | Path | None" = None
     fsync: bool = False
     supervisor_timeout_s: float = 60.0
+    telemetry_seed: "int | None" = None  # None = observability off
+    telemetry_jsonl: "str | None" = None  # trace JSONL output path
 
     def __post_init__(self) -> None:
         if self.requests < 1:
@@ -118,7 +120,9 @@ def run_crash_recovery(
         journal = ReservationJournal.open(spec.journal_path, fsync=spec.fsync)
     else:
         journal = ReservationJournal()
-    scenario = build_scenario(spec.scenario, journal=journal)
+    scenario = build_scenario(
+        spec.scenario, journal=journal, telemetry_seed=spec.telemetry_seed
+    )
     plan = FaultPlan(
         faults=(
             FaultSpec(
@@ -129,6 +133,12 @@ def run_crash_recovery(
         ),
         seed=spec.seed,
     )
+    exporter = None
+    if spec.telemetry_jsonl is not None and scenario.telemetry is not None:
+        from ..telemetry import JsonlSpanExporter
+
+        exporter = JsonlSpanExporter(spec.telemetry_jsonl)
+        scenario.telemetry.tracer.add_exporter(exporter)
     injector = FaultInjector(plan, clock=scenario.clock)
     injector.install(scenario.servers, scenario.transport)
     injector.install_journal(journal)
@@ -208,13 +218,19 @@ def run_crash_recovery(
         # The restarted manager journals to the reopened file, not the
         # handle that died with the old process.
         scenario.manager.committer.journal = journal
+        journal.telemetry = scenario.telemetry
     supervisor = SessionSupervisor(
         clock=scenario.clock,
         runtime=runtime,
         heartbeat_timeout_s=spec.supervisor_timeout_s,
+        telemetry=scenario.telemetry,
     )
     recovery = RecoveryManager(
-        journal, scenario.servers, scenario.transport, clock=scenario.clock
+        journal,
+        scenario.servers,
+        scenario.transport,
+        clock=scenario.clock,
+        telemetry=scenario.telemetry,
     )
     rec_report = recovery.replay(loop=scenario.loop, supervisor=supervisor)
     report.recovery = rec_report
@@ -244,4 +260,6 @@ def run_crash_recovery(
     report.journal_timeline = journal.describe()
     if spec.journal_path is not None:
         journal.close()
+    if exporter is not None:
+        exporter.close()
     return report, scenario

@@ -29,6 +29,7 @@ from ..network.topology import Topology
 from ..network.transport import GuaranteeType, TransportSystem
 from ..session.engine import EventLoop
 from ..session.runtime import SessionRuntime
+from ..telemetry import Telemetry, observe_breaker
 from ..util.clock import ManualClock
 from ..util.errors import SimulationError
 from ..util.validation import check_positive
@@ -80,6 +81,7 @@ class Scenario:
     clock: ManualClock
     manager: QoSManager
     loop: EventLoop
+    telemetry: "Telemetry | None" = None
 
     def runtime(self, **kwargs) -> SessionRuntime:
         """A fresh session runtime over this scenario's manager/loop."""
@@ -112,8 +114,15 @@ def build_scenario(
     lease_ttl_s: "float | None" = None,
     retry_seed: int = 0,
     journal=None,
+    telemetry_seed: "int | None" = None,
 ) -> Scenario:
-    """Build the default deployment from ``spec``."""
+    """Build the default deployment from ``spec``.
+
+    ``telemetry_seed`` switches the deployment's observability on: a
+    :class:`~repro.telemetry.Telemetry` hub seeded with it is wired into
+    the manager, the server fleet, the transport, the journal and the
+    breaker, and exposed as ``Scenario.telemetry``.
+    """
     spec = spec or ScenarioSpec()
 
     server_ids = [f"server-{chr(ord('a') + i)}" for i in range(spec.server_count)]
@@ -174,6 +183,11 @@ def build_scenario(
     database.insert_catalog(catalog)
 
     clock = ManualClock()
+    telemetry = (
+        Telemetry(clock=clock, seed=telemetry_seed)
+        if telemetry_seed is not None
+        else None
+    )
     if spec.multi_domain:
         # Three-domain split ([Haf 95b] extension): servers in the
         # provider domain, the backbone node in the metro domain,
@@ -209,7 +223,16 @@ def build_scenario(
         lease_ttl_s=lease_ttl_s,
         retry_seed=retry_seed,
         journal=journal,
+        telemetry=telemetry,
     )
+    if telemetry is not None:
+        transport.telemetry = telemetry
+        for server in servers.values():
+            server.telemetry = telemetry
+        if journal is not None:
+            journal.telemetry = telemetry
+        if health is not None:
+            observe_breaker(health, telemetry)
     return Scenario(
         spec=spec,
         catalog=catalog,
@@ -221,4 +244,5 @@ def build_scenario(
         clock=clock,
         manager=manager,
         loop=EventLoop(clock),
+        telemetry=telemetry,
     )

@@ -1,0 +1,114 @@
+"""Deterministic, zero-dependency observability for the negotiation stack.
+
+Three layers behind one :class:`Telemetry` hub:
+
+* **tracing** (:mod:`repro.telemetry.tracer`) — nested spans with a
+  span per negotiation step (paper §4 steps 1–6), one child span per
+  admission attempt, plus journal appends/replays, lease reaps, breaker
+  windows, adaptation switches and playout heartbeats.  Timestamps come
+  from the injected :class:`~repro.util.clock.ManualClock` and ids from
+  a seeded RNG, so traces are byte-reproducible;
+* **metrics** (:mod:`repro.telemetry.metrics`) — catalog-validated
+  counters, gauges and fixed-bucket histograms
+  (:mod:`repro.telemetry.catalog` is the only place names are born);
+* **export** (:mod:`repro.telemetry.export`) — in-memory and JSONL span
+  exporters plus text renderers; ``python -m repro trace`` and
+  ``python -m repro stats`` drive them from the CLI.
+
+Instrumented components take an optional hub and default to the shared
+*disabled* hub, whose every operation is a cheap no-op — the seed
+behaviour of the library is unchanged until a deployment opts in.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..util.clock import ManualClock
+from .catalog import CATALOG, METRICS, MetricKind, MetricSpec, metric_names
+from .export import (
+    InMemorySpanExporter,
+    JsonlSpanExporter,
+    read_spans_jsonl,
+    render_span_tree,
+)
+from .instrument import observe_breaker, traced
+from .metrics import HistogramState, MetricsRegistry, format_metric_key
+from .report import (
+    AttemptSummary,
+    NegotiationReport,
+    StepSummary,
+    reconcile_journal,
+)
+from .spans import Span, SpanStatus
+from .tracer import NULL_SPAN, SpanExporter, Tracer
+
+__all__ = [
+    "CATALOG",
+    "METRICS",
+    "MetricKind",
+    "MetricSpec",
+    "metric_names",
+    "InMemorySpanExporter",
+    "JsonlSpanExporter",
+    "read_spans_jsonl",
+    "render_span_tree",
+    "observe_breaker",
+    "traced",
+    "HistogramState",
+    "MetricsRegistry",
+    "format_metric_key",
+    "AttemptSummary",
+    "NegotiationReport",
+    "StepSummary",
+    "reconcile_journal",
+    "Span",
+    "SpanStatus",
+    "NULL_SPAN",
+    "SpanExporter",
+    "Tracer",
+    "Telemetry",
+]
+
+
+class Telemetry:
+    """One tracer + one metrics registry sharing a clock and a seed."""
+
+    def __init__(
+        self,
+        *,
+        clock: ManualClock,
+        seed: int = 0,
+        exporters: "tuple[SpanExporter, ...]" = (),
+        enabled: bool = True,
+    ) -> None:
+        self.clock = clock
+        self.seed = seed
+        self.enabled = enabled
+        self.tracer = Tracer(
+            clock=clock, seed=seed, exporters=exporters, enabled=enabled
+        )
+        self.metrics = MetricsRegistry(enabled=enabled)
+
+    # -- convenience delegates (the one-line call sites) ---------------------------
+
+    def span(self, name: str, **attributes: Any) -> Any:
+        return self.tracer.span(name, **attributes)
+
+    def count(self, name: str, amount: float = 1.0, **labels: str) -> None:
+        self.metrics.count(name, amount, **labels)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.observe(name, value)
+
+    def annotate(self, **attributes: Any) -> None:
+        self.tracer.annotate(**attributes)
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """The shared inert hub: every span/count is a no-op.  One
+        instance serves the whole process — it holds no state."""
+        return _DISABLED
+
+
+_DISABLED = Telemetry(clock=ManualClock(), enabled=False)

@@ -1,0 +1,88 @@
+"""One-line instrumentation helpers.
+
+``traced`` wraps a method in a span read from ``self.telemetry``;
+``observe_breaker`` wires a :class:`~repro.faults.health.CircuitBreaker`
+into the hub (trip/half-open/close transitions become counters, open
+windows become ``breaker.transition`` spans with accumulated open time).
+
+Both are transparent to errors by construction: the span context
+manager records failure status and re-raises unchanged, so the
+rollback/teardown paths under test in ``tests/telemetry`` see exactly
+the exceptions they would without instrumentation.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import TYPE_CHECKING, Any, Callable, TypeVar
+
+from ..faults.health import BreakerState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.health import CircuitBreaker
+    from . import Telemetry
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+__all__ = ["traced", "observe_breaker"]
+
+
+def traced(name: str, **static_attributes: Any) -> "Callable[[F], F]":
+    """Wrap a method in a span named ``name``.
+
+    The receiver must expose a ``telemetry`` attribute (a
+    :class:`~repro.telemetry.Telemetry` hub or ``None``).  With no hub,
+    or a disabled one, the call costs one attribute read.
+    """
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
+            telemetry = getattr(self, "telemetry", None)
+            if telemetry is None or not telemetry.enabled:
+                return fn(self, *args, **kwargs)
+            with telemetry.tracer.span(name, **static_attributes):
+                return fn(self, *args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def observe_breaker(
+    breaker: "CircuitBreaker", telemetry: "Telemetry"
+) -> None:
+    """Install a transition observer on ``breaker`` that feeds the hub.
+
+    Every trip to OPEN counts ``breaker.opens{server}``; when the
+    quarantine ends (OPEN -> HALF_OPEN probe or OPEN -> CLOSED reset)
+    the open window's simulated duration is added to
+    ``breaker.open_time_s{server}`` and emitted as a
+    ``breaker.transition`` span covering the window.
+    """
+    opened_at: "dict[str, float]" = {}
+
+    def on_transition(
+        server_id: str, old: BreakerState, new: BreakerState, now: float
+    ) -> None:
+        if new is BreakerState.OPEN and old is not BreakerState.OPEN:
+            telemetry.metrics.count("breaker.opens", server=server_id)
+            opened_at[server_id] = now
+        elif old is BreakerState.OPEN and new is not BreakerState.OPEN:
+            start = opened_at.pop(server_id, now)
+            telemetry.metrics.count(
+                "breaker.open_time_s", now - start, server=server_id
+            )
+            telemetry.tracer.emit(
+                "breaker.transition",
+                start_s=start,
+                end_s=now,
+                attributes={
+                    "server": server_id,
+                    "from": old.value,
+                    "to": new.value,
+                    "open_s": now - start,
+                },
+            )
+
+    breaker.on_transition = on_transition

@@ -1,0 +1,231 @@
+"""The metrics registry: counters, gauges, fixed-bucket histograms.
+
+Instruments live in the catalog (:mod:`repro.telemetry.catalog`); the
+registry validates every emission against it, so an unregistered name
+or a kind mismatch raises :class:`~repro.util.errors.TelemetryError`
+instead of forking a silent time series.  Snapshots are plain dicts
+with flat ``name{label=value}`` keys, rendered deterministically
+(sorted) so two same-seed runs serialize byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator
+
+from ..util.errors import TelemetryError
+from ..util.tables import render_table
+from .catalog import CATALOG, MetricKind, MetricSpec
+
+__all__ = ["HistogramState", "MetricsRegistry", "format_metric_key"]
+
+
+def format_metric_key(name: str, label_value: "str | None") -> str:
+    """Flat snapshot key: ``name`` or ``name{label=value}``."""
+    if label_value is None:
+        return name
+    spec = CATALOG[name]
+    return f"{name}{{{spec.label}={label_value}}}"
+
+
+class HistogramState:
+    """Fixed-bucket histogram: counts per upper bound + overflow."""
+
+    __slots__ = ("buckets", "counts", "overflow", "total", "sum")
+
+    def __init__(self, buckets: "tuple[float, ...]") -> None:
+        self.buckets = buckets
+        self.counts = [0] * len(buckets)
+        self.overflow = 0
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.total += 1
+        self.sum += value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.overflow += 1
+
+    def as_dict(self) -> "dict[str, Any]":
+        data: "dict[str, Any]" = {
+            "buckets": {
+                f"{bound:g}": count
+                for bound, count in zip(self.buckets, self.counts)
+            },
+            "overflow": self.overflow,
+            "count": self.total,
+            "sum": self.sum,
+        }
+        return data
+
+
+class MetricsRegistry:
+    """Catalog-validated counters, gauges and histograms.
+
+    A disabled registry (``enabled=False``) accepts every emission as a
+    no-op — the shared hub handed to uninstrumented deployments.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: "dict[str, float]" = {}
+        self._gauges: "dict[str, float]" = {}
+        self._histograms: "dict[str, HistogramState]" = {}
+
+    # -- validation ----------------------------------------------------------------
+
+    @staticmethod
+    def _spec(name: str, kind: MetricKind) -> MetricSpec:
+        spec = CATALOG.get(name)
+        if spec is None:
+            raise TelemetryError(
+                f"metric {name!r} is not in the catalog; declare it in "
+                "repro.telemetry.catalog first"
+            )
+        if spec.kind is not kind:
+            raise TelemetryError(
+                f"metric {name!r} is a {spec.kind.value}, not a {kind.value}"
+            )
+        return spec
+
+    @staticmethod
+    def _key(spec: MetricSpec, label: "str | None") -> str:
+        if spec.label is None and label is not None:
+            raise TelemetryError(
+                f"metric {spec.name!r} takes no label, got {label!r}"
+            )
+        if spec.label is not None and label is None:
+            raise TelemetryError(
+                f"metric {spec.name!r} requires the {spec.label!r} label"
+            )
+        return format_metric_key(spec.name, label)
+
+    # -- emission ------------------------------------------------------------------
+
+    def count(
+        self, name: str, amount: float = 1.0, **labels: str
+    ) -> None:
+        """Increment a counter (``labels`` is the single declared label,
+        e.g. ``count("breaker.opens", server="server-a")``)."""
+        if not self.enabled:
+            return
+        key = self._key(
+            self._spec(name, MetricKind.COUNTER), self._label_of(labels)
+        )
+        self._counters[key] = self._counters.get(key, 0.0) + amount
+
+    def gauge_set(self, name: str, value: float, **labels: str) -> None:
+        if not self.enabled:
+            return
+        key = self._key(
+            self._spec(name, MetricKind.GAUGE), self._label_of(labels)
+        )
+        self._gauges[key] = value
+
+    def gauge_add(self, name: str, delta: float, **labels: str) -> None:
+        if not self.enabled:
+            return
+        key = self._key(
+            self._spec(name, MetricKind.GAUGE), self._label_of(labels)
+        )
+        self._gauges[key] = self._gauges.get(key, 0.0) + delta
+
+    def observe(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        spec = self._spec(name, MetricKind.HISTOGRAM)
+        state = self._histograms.get(name)
+        if state is None:
+            state = self._histograms[name] = HistogramState(spec.buckets)
+        state.observe(value)
+
+    @staticmethod
+    def _label_of(labels: "dict[str, str]") -> "str | None":
+        if not labels:
+            return None
+        if len(labels) > 1:
+            raise TelemetryError(
+                f"at most one label per metric, got {sorted(labels)}"
+            )
+        return str(next(iter(labels.values())))
+
+    # -- reading -------------------------------------------------------------------
+
+    def counter_value(self, name: str, **labels: str) -> float:
+        key = self._key(
+            self._spec(name, MetricKind.COUNTER), self._label_of(labels)
+        )
+        return self._counters.get(key, 0.0)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter over all its label values."""
+        self._spec(name, MetricKind.COUNTER)
+        prefix = f"{name}{{"
+        return sum(
+            value for key, value in self._counters.items()
+            if key == name or key.startswith(prefix)
+        )
+
+    def gauge_value(self, name: str, **labels: str) -> float:
+        key = self._key(
+            self._spec(name, MetricKind.GAUGE), self._label_of(labels)
+        )
+        return self._gauges.get(key, 0.0)
+
+    def histogram(self, name: str) -> "HistogramState | None":
+        self._spec(name, MetricKind.HISTOGRAM)
+        return self._histograms.get(name)
+
+    def snapshot(self) -> "dict[str, Any]":
+        """Deterministic full dump (sorted flat keys)."""
+        return {
+            "counters": {
+                key: self._counters[key] for key in sorted(self._counters)
+            },
+            "gauges": {
+                key: self._gauges[key] for key in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].as_dict()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(
+            self.snapshot(), sort_keys=True, separators=(",", ":")
+        )
+
+    def render(self) -> str:
+        """Human-readable snapshot with catalog units."""
+        rows = list(self._rows())
+        if not rows:
+            return "metrics: (none recorded)"
+        return render_table(
+            ("metric", "value", "unit"), rows, title="metrics snapshot"
+        )
+
+    def _rows(self) -> "Iterator[tuple[str, str, str]]":
+        for key in sorted(self._counters):
+            name = key.split("{", 1)[0]
+            value = self._counters[key]
+            yield key, f"{value:g}", CATALOG[name].unit
+        for key in sorted(self._gauges):
+            name = key.split("{", 1)[0]
+            yield key, f"{self._gauges[key]:g}", CATALOG[name].unit
+        for name in sorted(self._histograms):
+            state = self._histograms[name]
+            mean = state.sum / state.total if state.total else 0.0
+            yield (
+                name,
+                f"n={state.total} mean={mean:g}",
+                CATALOG[name].unit,
+            )
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

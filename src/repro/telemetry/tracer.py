@@ -1,0 +1,213 @@
+"""The tracer: deterministic nested spans over the simulated clock.
+
+Span/trace ids are drawn from a seeded RNG and timestamps from the
+injected :class:`~repro.util.clock.ManualClock`, so a trace is a pure
+function of the run's seed — two same-seed runs export byte-identical
+JSONL.  The tracer keeps a stack of open spans (nesting), hands every
+finished span to its exporters, and retains the most recently finished
+*root* trace so the negotiation can turn it into a
+:class:`~repro.telemetry.report.NegotiationReport` in O(trace size).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Protocol
+
+from ..util.clock import ManualClock
+from ..util.rng import make_rng
+from .spans import Span, SpanStatus
+
+__all__ = ["SpanExporter", "Tracer", "NULL_SPAN"]
+
+
+class SpanExporter(Protocol):
+    """Receives every span as it finishes."""
+
+    def export(self, span: Span) -> None: ...
+
+
+class _NullSpan:
+    """The span handed out by a disabled tracer: accepts attributes,
+    records nothing."""
+
+    __slots__ = ()
+    name = ""
+    trace_id = ""
+    span_id = ""
+    parent_id = None
+    status = SpanStatus.OK
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def set_attributes(self, attributes: "dict[str, Any]") -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Deterministic span factory bound to one simulated clock."""
+
+    def __init__(
+        self,
+        *,
+        clock: ManualClock,
+        seed: int = 0,
+        exporters: "tuple[SpanExporter, ...]" = (),
+        enabled: bool = True,
+    ) -> None:
+        self.clock = clock
+        self.enabled = enabled
+        self._rng = make_rng(seed)
+        self._exporters: "list[SpanExporter]" = list(exporters)
+        self._stack: "list[Span]" = []
+        self._sequence = 0
+        # trace_id -> spans started under it, in start order; a root
+        # span's end moves its bucket to _last_trace, so collecting the
+        # finished negotiation trace is O(1) lookups per span (never a
+        # scan over the whole run's span history).
+        self._open_traces: "dict[str, list[Span]]" = {}
+        self._last_trace: "tuple[Span, ...]" = ()
+
+    # -- wiring --------------------------------------------------------------------
+
+    def add_exporter(self, exporter: SpanExporter) -> None:
+        self._exporters.append(exporter)
+
+    @property
+    def exporters(self) -> "tuple[SpanExporter, ...]":
+        return tuple(self._exporters)
+
+    # -- identity ------------------------------------------------------------------
+
+    def _new_id(self) -> str:
+        return self._rng.integers(
+            0, 256, size=8, dtype="uint8"
+        ).tobytes().hex()
+
+    def _next_sequence(self) -> int:
+        self._sequence += 1
+        return self._sequence
+
+    # -- the span lifecycle --------------------------------------------------------
+
+    def start_span(self, name: str, **attributes: Any) -> Span:
+        parent = self._stack[-1] if self._stack else None
+        trace_id = parent.trace_id if parent is not None else self._new_id()
+        span = Span(
+            name=name,
+            trace_id=trace_id,
+            span_id=self._new_id(),
+            parent_id=parent.span_id if parent is not None else None,
+            start_s=self.clock.now(),
+            sequence=self._next_sequence(),
+            attributes=dict(attributes),
+        )
+        self._stack.append(span)
+        self._open_traces.setdefault(trace_id, []).append(span)
+        return span
+
+    def end_span(self, span: Span) -> None:
+        span.end_s = self.clock.now()
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # defensive: out-of-order end
+            self._stack.remove(span)
+        for exporter in self._exporters:
+            exporter.export(span)
+        if span.parent_id is None:
+            bucket = self._open_traces.pop(span.trace_id, [])
+            self._last_trace = tuple(bucket)
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> "Iterator[Any]":
+        """Open a nested span for the duration of the block.
+
+        The span records failure status but never swallows, converts or
+        reorders the exception — instrumentation must be invisible to
+        the error-handling paths it wraps.
+        """
+        if not self.enabled:
+            yield NULL_SPAN
+            return
+        span = self.start_span(name, **attributes)
+        try:
+            yield span
+        except BaseException as error:  # reprolint: backstop -- record status, always re-raise unchanged
+            span.status = SpanStatus.ERROR
+            span.set_attribute("error.type", type(error).__name__)
+            raise
+        finally:
+            self.end_span(span)
+
+    def emit(
+        self,
+        name: str,
+        *,
+        start_s: float,
+        end_s: float,
+        parent: "tuple[str, str] | None" = None,
+        status: str = SpanStatus.OK,
+        attributes: "dict[str, Any] | None" = None,
+    ) -> "Span | _NullSpan":
+        """Record a manually-timed span (confirmation waits, breaker
+        open windows — intervals whose end is observed after the
+        enclosing trace closed).  ``parent`` is a ``(trace_id,
+        span_id)`` context, e.g. from :meth:`root_context`."""
+        if not self.enabled:
+            return NULL_SPAN
+        if parent is not None:
+            trace_id, parent_id = parent
+        else:
+            trace_id, parent_id = self._new_id(), None
+        span = Span(
+            name=name,
+            trace_id=trace_id,
+            span_id=self._new_id(),
+            parent_id=parent_id,
+            start_s=start_s,
+            end_s=end_s,
+            status=status,
+            sequence=self._next_sequence(),
+            attributes=dict(attributes or {}),
+        )
+        bucket = self._open_traces.get(trace_id)
+        if bucket is not None:
+            bucket.append(span)
+        for exporter in self._exporters:
+            exporter.export(span)
+        return span
+
+    # -- context -------------------------------------------------------------------
+
+    def current_span(self) -> "Span | None":
+        return self._stack[-1] if self._stack else None
+
+    def current_context(self) -> "tuple[str, str] | None":
+        """(trace_id, span_id) of the innermost open span."""
+        if not self._stack:
+            return None
+        top = self._stack[-1]
+        return top.trace_id, top.span_id
+
+    def root_context(self) -> "tuple[str, str] | None":
+        """(trace_id, span_id) of the outermost open span — the anchor
+        for late spans that belong at the top of the trace."""
+        if not self._stack:
+            return None
+        root = self._stack[0]
+        return root.trace_id, root.span_id
+
+    def annotate(self, **attributes: Any) -> None:
+        """Attach attributes to the innermost open span (no-op when no
+        span is open or the tracer is disabled)."""
+        if self._stack:
+            self._stack[-1].attributes.update(attributes)
+
+    def last_trace(self) -> "tuple[Span, ...]":
+        """Every span of the most recently finished root trace, in
+        start order."""
+        return self._last_trace

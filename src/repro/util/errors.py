@@ -44,6 +44,7 @@ __all__ = [
     "AdaptationError",
     "SessionError",
     "SimulationError",
+    "TelemetryError",
 ]
 
 
@@ -227,3 +228,9 @@ class SessionError(ReproError):
 
 class SimulationError(ReproError):
     """Problems in the workload/scenario simulation layer."""
+
+
+class TelemetryError(ReproError):
+    """The observability layer was misused (unregistered metric name,
+    wrong instrument kind, malformed span record).  Telemetry *reading*
+    is always safe; only mis-instrumentation raises."""

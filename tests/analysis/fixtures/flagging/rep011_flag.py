@@ -1,0 +1,11 @@
+"""REP011 fixture (flagged): naked timing + unregistered metric."""
+
+from time import perf_counter
+from time import time as wall_time
+
+
+def measure(telemetry):
+    started = perf_counter()
+    telemetry.count("negotiation.bogus.counter")
+    telemetry.metrics.observe("not.in.the.catalog", 1.0)
+    return wall_time() - started

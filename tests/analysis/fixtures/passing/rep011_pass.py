@@ -1,0 +1,10 @@
+"""REP011 fixture (clean): clock-derived spans, catalog metric names."""
+
+from repro.util.clock import ManualClock
+
+
+def measure(telemetry, clock: ManualClock) -> float:
+    started = clock.now()
+    telemetry.count("negotiation.offers.enumerated", 1.0)
+    telemetry.metrics.observe("negotiation.latency_s", clock.now() - started)
+    return clock.now() - started

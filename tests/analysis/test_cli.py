@@ -15,7 +15,7 @@ class TestLintCommand:
         assert code == 1
         for rule_id in (
             "REP001", "REP002", "REP003", "REP004", "REP005",
-            "REP006", "REP007", "REP008", "REP009",
+            "REP006", "REP007", "REP008", "REP009", "REP010", "REP011",
         ):
             assert rule_id in out, f"{rule_id} missing from CLI output"
 

@@ -31,6 +31,7 @@ RULE_FIXTURES = {
         "flagging/repro/session/rep010_flag.py",
         "passing/repro/session/rep010_pass.py",
     ),
+    "REP011": ("flagging/rep011_flag.py", "passing/rep011_pass.py"),
 }
 
 

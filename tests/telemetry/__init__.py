@@ -1,0 +1,1 @@
+"""Telemetry layer: tracer, metrics registry, exporters, reports."""

@@ -1,0 +1,118 @@
+"""Failure paths under instrumentation: no leaks, no swallowed errors.
+
+The regression this suite pins: wrapping the negotiation stack in
+telemetry must not change its error behaviour — a failed commitment
+still releases every partial reservation, and a ``ReproError`` raised
+under a span reaches the caller as the same object.
+"""
+
+import pytest
+
+from repro.core import standard_profiles
+from repro.core.status import NegotiationStatus
+from repro.sim import ScenarioSpec, build_scenario
+from repro.telemetry import InMemorySpanExporter
+from repro.util.errors import NotFoundError
+
+
+def balanced():
+    return next(p for p in standard_profiles() if p.name == "balanced")
+
+
+def crashed_scenario(telemetry_seed):
+    scenario = build_scenario(
+        ScenarioSpec(server_count=2, document_count=1),
+        telemetry_seed=telemetry_seed,
+    )
+    for server in scenario.servers.values():
+        server.crash()
+    return scenario
+
+
+class TestPartialReleaseAudit:
+    def test_failed_commitments_leave_nothing_reserved(self):
+        scenario = crashed_scenario(telemetry_seed=3)
+        exporter = InMemorySpanExporter()
+        scenario.telemetry.tracer.add_exporter(exporter)
+        result = scenario.manager.negotiate(
+            scenario.document_ids()[0], balanced(), scenario.any_client()
+        )
+        assert not result.status.reserves_resources
+        assert result.status is NegotiationStatus.FAILED_TRY_LATER
+        # The audit: every partial reservation was rolled back.
+        assert scenario.transport.flow_count == 0
+        assert all(
+            server.stream_count == 0
+            for server in scenario.servers.values()
+        )
+        assert scenario.topology.total_reserved_bps() == 0.0
+
+    def test_the_failure_is_visible_in_the_telemetry(self):
+        scenario = crashed_scenario(telemetry_seed=3)
+        exporter = InMemorySpanExporter()
+        scenario.telemetry.tracer.add_exporter(exporter)
+        scenario.manager.negotiate(
+            scenario.document_ids()[0], balanced(), scenario.any_client()
+        )
+        metrics = scenario.telemetry.metrics
+        assert metrics.counter_value(
+            "negotiation.outcomes", status="FAILEDTRYLATER"
+        ) == 1
+        assert metrics.counter_total("admission.refusals") > 0
+        attempts = [
+            span for span in exporter.spans
+            if span.name == "negotiation.step5.attempt"
+        ]
+        assert attempts
+        assert all(
+            span.attributes["outcome"] == "rolled-back" for span in attempts
+        )
+
+    def test_instrumented_and_uninstrumented_runs_fail_identically(self):
+        plain = build_scenario(
+            ScenarioSpec(server_count=2, document_count=1)
+        )
+        for server in plain.servers.values():
+            server.crash()
+        traced = crashed_scenario(telemetry_seed=3)
+        args = lambda s: (  # noqa: E731
+            s.document_ids()[0], balanced(), s.any_client()
+        )
+        plain_result = plain.manager.negotiate(*args(plain))
+        traced_result = traced.manager.negotiate(*args(traced))
+        assert plain_result.status is traced_result.status
+        assert plain_result.retry_after_s == traced_result.retry_after_s
+
+
+class TestErrorTransparency:
+    def test_negotiate_raises_the_same_error_with_and_without_telemetry(
+        self,
+    ):
+        traced = build_scenario(
+            ScenarioSpec(document_count=1), telemetry_seed=3
+        )
+        plain = build_scenario(ScenarioSpec(document_count=1))
+        errors = []
+        for scenario in (traced, plain):
+            with pytest.raises(NotFoundError) as caught:
+                scenario.manager.negotiate(
+                    "doc.missing", balanced(), scenario.any_client()
+                )
+            errors.append(caught.value)
+        assert type(errors[0]) is type(errors[1])
+        assert str(errors[0]) == str(errors[1])
+
+    def test_a_raising_negotiation_still_closes_its_spans(self):
+        scenario = build_scenario(
+            ScenarioSpec(document_count=1), telemetry_seed=3
+        )
+        exporter = InMemorySpanExporter()
+        scenario.telemetry.tracer.add_exporter(exporter)
+        with pytest.raises(NotFoundError):
+            scenario.manager.negotiate(
+                "doc.missing", balanced(), scenario.any_client()
+            )
+        roots = [s for s in exporter.spans if s.name == "negotiation"]
+        assert roots and roots[0].status == "error"
+        assert roots[0].end_s is not None
+        assert scenario.telemetry.tracer.current_span() is None
