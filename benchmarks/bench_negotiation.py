@@ -1,0 +1,25 @@
+"""Standalone entry point for the negotiation throughput benchmark.
+
+Thin wrapper over :mod:`repro.perf.bench` so the harness can be run
+directly from a checkout without installing the package::
+
+    PYTHONPATH=src python benchmarks/bench_negotiation.py [--quick]
+
+Equivalent to ``python -m repro bench``.  Writes
+``BENCH_negotiation.json`` and exits non-zero when the streaming and
+full-sort pipelines commit different offers on any seed scenario.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+from repro.perf.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

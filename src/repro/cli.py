@@ -18,6 +18,8 @@ Subcommands exercising the library from a shell:
 * ``stats`` — run a telemetry-instrumented chaos or workload run and
   print the metrics snapshot plus the journal reconciliation audit;
 * ``experiments`` — list the E-series experiment index;
+* ``bench`` — run the negotiation throughput benchmark (streaming vs
+  full sort, cache on/off) and write ``BENCH_negotiation.json``;
 * ``lint`` — run the reprolint project-invariant checks (REP001..REP011),
   exiting nonzero on findings;
 * ``typecheck`` — run the strict mypy gate over the typed core
@@ -174,6 +176,15 @@ def build_parser() -> argparse.ArgumentParser:
     add_telemetry_argument(stats)
 
     sub.add_parser("experiments", help="list the experiment index")
+
+    from .perf.bench import add_bench_arguments
+
+    bench = sub.add_parser(
+        "bench",
+        help="negotiation throughput benchmark "
+             "(streaming vs full sort, cache on/off)",
+    )
+    add_bench_arguments(bench)
 
     from .analysis.cli import add_lint_arguments, add_typecheck_arguments
 
@@ -636,6 +647,12 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from .perf.bench import run_bench_command
+
+    return run_bench_command(args)
+
+
 def _cmd_lint(args) -> int:
     from .analysis.cli import run_lint
 
@@ -659,6 +676,7 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         "trace": _cmd_trace,
         "stats": _cmd_stats,
         "experiments": _cmd_experiments,
+        "bench": _cmd_bench,
         "report": _cmd_report,
         "lint": _cmd_lint,
         "typecheck": _cmd_typecheck,

@@ -184,9 +184,14 @@ class AdaptationManager:
         if result.offer_space is None:
             raise AdaptationError("negotiation result carries no offer space")
 
+        # Streaming negotiations keep only the consumed prefix on the
+        # result; adaptation is the §4 consumer of "the whole set of
+        # feasible system offers", so drain the remainder now.
+        classified = result.ensure_classified()
+
         def commit(exclude: frozenset) -> NegotiationResult:
             return self.manager._commit_best(
-                result.classified,
+                classified,
                 result.offer_space,
                 profile,
                 client,
@@ -215,7 +220,7 @@ class AdaptationManager:
             # No alternate: try to take the original offer back.
             only_current = frozenset(
                 c.offer.offer_id
-                for c in result.classified
+                for c in classified
                 if c.offer.offer_id != current_id
             )
             revert = commit(only_current)

@@ -38,7 +38,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from ..documents.quality import MediaQoS
-from ..util.errors import OfferError
+from ..util.errors import OfferError, ValidationError
 from ..util.units import Money
 from .enumeration import OfferSpace
 from .importance import ImportanceProfile
@@ -48,10 +48,13 @@ from .status import StaticNegotiationStatus
 
 __all__ = [
     "ClassificationPolicy",
+    "ClassificationArrays",
     "ClassifiedOffer",
     "compute_sns",
+    "check_top_k",
     "classify_offer",
     "classify_offers",
+    "classify_arrays",
     "classify_space",
     "apply_offer_bonus",
     "MAX_VECTOR_OFFERS",
@@ -123,6 +126,25 @@ def classify_offer(
     return ClassifiedOffer(offer=offer, sns=sns, oif=oif, affordable=affordable)
 
 
+def check_top_k(top_k: "int | None", *, parameter: str = "top_k") -> "int | None":
+    """Validate a best-first truncation bound.
+
+    ``None`` means "no bound".  Anything below 1 is a caller error: a
+    zero bound used to be clamped silently, which made
+    ``negotiate(max_offers=0)`` report FAILEDTRYLATER with zero
+    attempts instead of surfacing the bad argument.
+    """
+    if top_k is None:
+        return None
+    value = int(top_k)
+    if value < 1:
+        raise ValidationError(
+            f"{parameter} must be at least 1 (got {top_k!r}); "
+            f"pass None for an unbounded classification"
+        )
+    return value
+
+
 def _sort_key(
     policy: ClassificationPolicy,
 ) -> "Callable[[ClassifiedOffer], tuple[float, ...]]":
@@ -172,24 +194,59 @@ def _axis_levels(
     return levels
 
 
-def classify_space(
+@dataclass(frozen=True)
+class ClassificationArrays:
+    """The vectorized §4-step-3/4 products over a whole offer space.
+
+    ``order`` lists flat product indices best-first; the other arrays
+    are indexed by flat product index.  Splitting these out of
+    :func:`classify_space` lets :mod:`repro.perf` cache the expensive
+    part (the broadcast sums and the lexsort) and re-materialise
+    offers cheaply per request.
+    """
+
+    order: np.ndarray
+    sns_levels: np.ndarray
+    oif: np.ndarray
+    affordable: np.ndarray
+
+    def materialize(
+        self, space: OfferSpace, top_k: "int | None" = None
+    ) -> list[ClassifiedOffer]:
+        """Turn the best-first index order into classified offers,
+        materialising only the first ``top_k`` (all when None)."""
+        order = self.order
+        if top_k is not None:
+            order = order[: int(top_k)]
+        results: list[ClassifiedOffer] = []
+        for flat in order:
+            offer = space.offer_at(int(flat))
+            results.append(
+                ClassifiedOffer(
+                    offer=offer,
+                    sns=StaticNegotiationStatus(int(self.sns_levels[flat])),
+                    oif=float(self.oif[flat]),
+                    affordable=bool(self.affordable[flat]),
+                )
+            )
+        return results
+
+
+def classify_arrays(
     space: OfferSpace,
     profile: UserProfile,
     importance: ImportanceProfile,
     *,
     policy: ClassificationPolicy = ClassificationPolicy.SNS_PRIMARY,
-    top_k: "int | None" = None,
-) -> list[ClassifiedOffer]:
-    """Classify the entire offer space vectorized; return the ordered
-    (best-first) classified offers, materialising only ``top_k`` of
-    them (all when ``top_k`` is None).
+) -> ClassificationArrays:
+    """Vectorized §4 steps 3–4 over the whole product space.
 
     Exploits the separability of both parameters across monomedia:
     the offer OIF is a sum of per-axis contributions minus the cost
     term, and the offer SNS is the max of per-axis levels.
     """
     if space.is_empty:
-        return []
+        raise OfferError("cannot classify an empty offer space")
     count = space.offer_count
     if count > MAX_VECTOR_OFFERS:
         raise OfferError(
@@ -253,21 +310,27 @@ def classify_space(
     else:
         order = np.lexsort((index, -oif, sns_levels))
 
-    if top_k is not None:
-        order = order[: max(int(top_k), 0)]
+    return ClassificationArrays(
+        order=order, sns_levels=sns_levels, oif=oif, affordable=affordable
+    )
 
-    results: list[ClassifiedOffer] = []
-    for flat in order:
-        offer = space.offer_at(int(flat))
-        results.append(
-            ClassifiedOffer(
-                offer=offer,
-                sns=StaticNegotiationStatus(int(sns_levels[flat])),
-                oif=float(oif[flat]),
-                affordable=bool(affordable[flat]),
-            )
-        )
-    return results
+
+def classify_space(
+    space: OfferSpace,
+    profile: UserProfile,
+    importance: ImportanceProfile,
+    *,
+    policy: ClassificationPolicy = ClassificationPolicy.SNS_PRIMARY,
+    top_k: "int | None" = None,
+) -> list[ClassifiedOffer]:
+    """Classify the entire offer space vectorized; return the ordered
+    (best-first) classified offers, materialising only ``top_k`` of
+    them (all when ``top_k`` is None)."""
+    top_k = check_top_k(top_k)
+    if space.is_empty:
+        return []
+    arrays = classify_arrays(space, profile, importance, policy=policy)
+    return arrays.materialize(space, top_k)
 
 
 def apply_offer_bonus(

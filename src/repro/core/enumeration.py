@@ -71,6 +71,15 @@ class OfferSpace:
             monomedia_id: tuple(variants)
             for monomedia_id, variants in rejected.items()
         }
+        # O(1) spec lookups keyed by (monomedia_id, variant_id): variant
+        # ids are only unique *within* a monomedia, so a flat variant-id
+        # scan would return the wrong FlowSpec when two monomedia share
+        # an id (see spec_for).
+        self._spec_index: dict[tuple[str, str], FlowSpec] = {
+            (choice.variant.monomedia_id, choice.variant.variant_id): choice.spec
+            for options in self._axes.values()
+            for choice in options
+        }
 
     # -- shape -------------------------------------------------------------------
 
@@ -171,11 +180,19 @@ class OfferSpace:
         ]
 
     def spec_for(self, variant: Variant) -> FlowSpec:
-        for options in self._axes.values():
-            for choice in options:
-                if choice.variant.variant_id == variant.variant_id:
-                    return choice.spec
-        raise OfferError(f"variant {variant.variant_id!r} not in offer space")
+        """The precomputed flow spec of one feasible variant.
+
+        Keyed by ``(monomedia_id, variant_id)``: two monomedia may
+        legally carry variants with the same variant id, and matching on
+        the id alone would silently hand back the other axis's spec.
+        """
+        try:
+            return self._spec_index[(variant.monomedia_id, variant.variant_id)]
+        except KeyError:
+            raise OfferError(
+                f"variant {variant.variant_id!r} of monomedia "
+                f"{variant.monomedia_id!r} not in offer space"
+            ) from None
 
 
 def _suffix_products(sizes: "list[int]") -> "list[int]":

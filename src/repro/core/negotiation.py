@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping
 
 from ..client.machine import ClientMachine
 from ..cmfs.server import MediaServer
@@ -43,11 +43,13 @@ from ..metadata.database import MetadataDatabase
 from ..network.transport import GuaranteeType, TransportSystem
 from ..telemetry import NegotiationReport, Telemetry
 from ..util.clock import ManualClock
-from ..util.errors import NegotiationError
+from ..util.errors import NegotiationError, ValidationError
 from .classification import (
     ClassificationPolicy,
     ClassifiedOffer,
     apply_offer_bonus,
+    check_top_k,
+    classify_arrays,
     classify_space,
 )
 from .commitment import Commitment, ResourceCommitter
@@ -58,11 +60,24 @@ from .mapping import QoSMapper
 from .offers import derive_user_offer
 from .profiles import MMProfile, UserProfile
 from .status import NegotiationStatus
+from .stream import stream_classified
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..perf.cache import NegotiationCache
     from .preferences import UserPreferences
 
-__all__ = ["DEFAULT_RETRY_AFTER_S", "NegotiationResult", "QoSManager"]
+__all__ = [
+    "DEFAULT_RETRY_AFTER_S",
+    "OFFER_MODES",
+    "NegotiationResult",
+    "QoSManager",
+]
+
+OFFER_MODES = ("full", "stream", "auto")
+"""How steps 3–5 consume the offer space: ``full`` classifies and
+sorts the whole product space (the original vectorized path);
+``stream`` walks it lazily best-first; ``auto`` streams whenever the
+scores are separable.  All three produce identical outcomes."""
 
 DEFAULT_RETRY_AFTER_S = 30.0
 """Retry-after hint on FAILEDTRYLATER when no breaker knows better —
@@ -71,7 +86,14 @@ roughly the time scale on which playing sessions end and free capacity."""
 
 @dataclass(slots=True)
 class NegotiationResult:
-    """Status + user offer + everything adaptation needs later."""
+    """Status + user offer + everything adaptation needs later.
+
+    Under streaming, ``classified`` holds only the prefix the
+    commitment walk actually consumed; ``_rest`` keeps the unconsumed
+    continuation of the stream.  :meth:`ensure_classified` drains it on
+    demand — adaptation still gets "the whole set of feasible system
+    offers" (§4), it just pays for them only when a violation occurs.
+    """
 
     status: NegotiationStatus
     user_offer: MMProfile | None = None
@@ -83,10 +105,23 @@ class NegotiationResult:
     attempts: int = 0
     retry_after_s: "float | None" = None  # hint accompanying FAILEDTRYLATER
     report: "NegotiationReport | None" = None  # trace-derived step account
+    _rest: "Iterator[ClassifiedOffer] | None" = field(
+        default=None, repr=False
+    )
 
     @property
     def succeeded(self) -> bool:
         return self.status.is_success
+
+    def ensure_classified(self) -> list[ClassifiedOffer]:
+        """The complete classified list, draining any unconsumed
+        stream remainder (classified order is preserved: the consumed
+        prefix and the continuation come from the same best-first
+        walk)."""
+        if self._rest is not None:
+            self.classified.extend(self._rest)
+            self._rest = None
+        return self.classified
 
     def summary(self) -> str:
         lines = [f"negotiation status: {self.status}"]
@@ -126,6 +161,8 @@ class QoSManager:
         retry_seed: int = 0,
         journal: "ReservationJournal | None" = None,
         telemetry: "Telemetry | None" = None,
+        offer_mode: str = "full",
+        cache: "NegotiationCache | None" = None,
     ) -> None:
         self.database = database
         self.cost_model = cost_model or default_cost_model()
@@ -134,6 +171,8 @@ class QoSManager:
         self.policy = policy
         self.guarantee = guarantee
         self.directory = directory  # ServerDirectory, for preferences
+        self.offer_mode = self._check_offer_mode(offer_mode)
+        self.cache = cache
         self.telemetry = telemetry or Telemetry.disabled()
         self.committer = ResourceCommitter(
             transport,
@@ -147,6 +186,15 @@ class QoSManager:
             telemetry=self.telemetry,
         )
         self._holders = itertools.count(1)
+
+    @staticmethod
+    def _check_offer_mode(offer_mode: str) -> str:
+        if offer_mode not in OFFER_MODES:
+            raise ValidationError(
+                f"offer_mode must be one of {OFFER_MODES}, "
+                f"got {offer_mode!r}"
+            )
+        return offer_mode
 
     # -- step 1 -----------------------------------------------------------------
 
@@ -184,8 +232,11 @@ class QoSManager:
         policy: ClassificationPolicy | None = None,
         guarantee: GuaranteeType | None = None,
         max_offers: "int | None" = None,
+        offer_mode: "str | None" = None,
     ) -> NegotiationResult:
         """Run steps 1–5 and wrap the reservation for step 6."""
+        max_offers = check_top_k(max_offers, parameter="max_offers")
+        offer_mode = self._check_offer_mode(offer_mode or self.offer_mode)
         telemetry = self.telemetry
         started = self.clock.now()
         document_id = document if isinstance(document, str) else document.document_id
@@ -203,6 +254,7 @@ class QoSManager:
                 policy=policy or self.policy,
                 guarantee=guarantee or self.guarantee,
                 max_offers=max_offers,
+                offer_mode=offer_mode,
             )
             root.set_attribute("status", str(result.status))
             root.set_attribute("attempts", result.attempts)
@@ -229,6 +281,7 @@ class QoSManager:
         policy: ClassificationPolicy,
         guarantee: GuaranteeType,
         max_offers: "int | None",
+        offer_mode: str = "full",
     ) -> NegotiationResult:
         importance = self._importance_of(profile)
         telemetry = self.telemetry
@@ -258,14 +311,33 @@ class QoSManager:
             variant_filter = None
             if preferences is not None and self.directory is not None:
                 variant_filter = preferences.variant_filter(self.directory)
-            space = build_offer_space(
-                document,
-                client,
-                self.cost_model,
-                mapper=self.mapper,
-                guarantee=guarantee,
-                variant_filter=variant_filter,
-            )
+
+            def build() -> OfferSpace:
+                return build_offer_space(
+                    document,
+                    client,
+                    self.cost_model,
+                    mapper=self.mapper,
+                    guarantee=guarantee,
+                    variant_filter=variant_filter,
+                )
+
+            # A variant filter makes the space caller-specific, so only
+            # filter-free requests go through the cache.
+            space_key = None
+            if self.cache is not None and variant_filter is None:
+                space_key = self.cache.space_key(
+                    document_id=document.document_id,
+                    version=self.database.version_of(document.document_id),
+                    client=client,
+                    guarantee=guarantee,
+                    cost_model=self.cost_model,
+                    mapper=self.mapper,
+                )
+                space = self.cache.offer_space(space_key, build)
+                sp2.set_attribute("cached", True)
+            else:
+                space = build()
             kept = sum(space.axis_sizes().values())
             dropped = sum(len(v) for v in space.rejected.values())
             sp2.set_attribute("offers_in", kept + dropped)
@@ -296,11 +368,35 @@ class QoSManager:
                 offer_space=space,
             )
 
+        # A non-trivial preference offer_bonus is per-offer, which
+        # breaks the separability the best-first stream relies on —
+        # those requests fall back to the vectorized full sort.
+        separable = preferences is None or preferences.is_trivial
+        if offer_mode in ("stream", "auto") and separable:
+            return self._run_streaming_steps(
+                space, profile, client, importance,
+                policy=policy, guarantee=guarantee, max_offers=max_offers,
+            )
+
         # Step 3: classification parameters (SNS + OIF per offer).
         with telemetry.span("negotiation.step3.parameters") as sp3:
-            classified = classify_space(
-                space, profile, importance, policy=policy, top_k=max_offers
-            )
+            if self.cache is not None and space_key is not None:
+                arrays = self.cache.classification(
+                    space_key,
+                    profile,
+                    importance,
+                    policy,
+                    lambda: classify_arrays(
+                        space, profile, importance, policy=policy
+                    ),
+                )
+                classified = arrays.materialize(space, max_offers)
+                sp3.set_attribute("cached", True)
+            else:
+                classified = classify_space(
+                    space, profile, importance, policy=policy,
+                    top_k=max_offers,
+                )
             cut = space.offer_count - len(classified)
             sp3.set_attribute("offers_in", space.offer_count)
             sp3.set_attribute("offers_out", len(classified))
@@ -332,6 +428,48 @@ class QoSManager:
             classified, space, profile, client, guarantee
         )
 
+    def _run_streaming_steps(
+        self,
+        space: OfferSpace,
+        profile: UserProfile,
+        client: ClientMachine,
+        importance: ImportanceProfile,
+        *,
+        policy: ClassificationPolicy,
+        guarantee: GuaranteeType,
+        max_offers: "int | None",
+    ) -> NegotiationResult:
+        """Steps 3–5 over the lazy best-first stream: offers are
+        classified (and materialised) only as the commitment walk
+        consumes them, in exactly the full sort's order."""
+        telemetry = self.telemetry
+        total = space.offer_count
+        out = total if max_offers is None else min(total, max_offers)
+        with telemetry.span("negotiation.step3.parameters") as sp3:
+            stream = stream_classified(
+                space, profile, importance, policy=policy
+            )
+            if max_offers is not None:
+                stream = itertools.islice(stream, max_offers)
+            sp3.set_attribute("streaming", True)
+            sp3.set_attribute("offers_in", total)
+            sp3.set_attribute("offers_out", out)
+            sp3.set_attribute("dropped", total - out)
+            if total - out:
+                sp3.set_attribute("drop_reasons", {"top-k cut": total - out})
+                telemetry.count(
+                    "negotiation.offers.dropped", float(total - out), step="3"
+                )
+        with telemetry.span(
+            "negotiation.step4.classify", policy=policy.value
+        ) as sp4:
+            sp4.set_attribute("streaming", True)
+            sp4.set_attribute("offers_in", out)
+            sp4.set_attribute("offers_out", out)
+        return self._commit_stream(
+            stream, space, profile, client, guarantee, offers_in=out
+        )
+
     def _commit_best(
         self,
         classified: "list[ClassifiedOffer]",
@@ -351,10 +489,6 @@ class QoSManager:
         gracefully to alternate-server variants instead of spending its
         retry budget against a machine known to be failing."""
         holder = f"session-{next(self._holders)}"
-        health = self.committer.health
-        telemetry = self.telemetry
-        attempts = 0
-        skips = 0
         satisfying = [
             c for c in classified
             if c.satisfies_user and c.offer.offer_id not in exclude_offer_ids
@@ -363,95 +497,182 @@ class QoSManager:
             c for c in classified
             if not c.satisfies_user and c.offer.offer_id not in exclude_offer_ids
         ]
-        with telemetry.span(
+        with self.telemetry.span(
             "negotiation.step5.commit",
             offers_in=len(satisfying) + len(fallback),
             holder=holder,
         ) as sp5:
-            for candidate in itertools.chain(satisfying, fallback):
-                if health is not None:
-                    now = self.clock.now()
-                    if not all(
-                        health.allow(server_id, now)
-                        for server_id in candidate.offer.servers_used()
-                    ):
-                        self.committer.stats.breaker_skips += 1
-                        skips += 1
-                        telemetry.count("breaker.skips")
-                        telemetry.count(
-                            "negotiation.offers.dropped", step="5"
-                        )
-                        with telemetry.span(
-                            "negotiation.step5.attempt",
-                            offer_id=candidate.offer.offer_id,
-                            servers=sorted(candidate.offer.servers_used()),
-                        ) as skip_span:
-                            skip_span.set_attribute(
-                                "outcome", "breaker-skip"
-                            )
-                        continue
-                attempts += 1
-                with telemetry.span(
-                    "negotiation.step5.attempt",
-                    offer_id=candidate.offer.offer_id,
-                    servers=sorted(candidate.offer.servers_used()),
-                ) as attempt_span:
-                    bundle = self.committer.try_commit(
-                        candidate.offer,
-                        space,
-                        client.access_point,
-                        guarantee=guarantee,
-                        holder=holder,
-                    )
-                    attempt_span.set_attribute(
-                        "outcome",
-                        "committed" if bundle is not None else "rolled-back",
-                    )
-                if bundle is None:
-                    telemetry.count("negotiation.offers.dropped", step="5")
-                    continue
-                commitment = Commitment(
-                    bundle,
-                    self.committer,
-                    reserved_at=self.clock.now(),
-                    choice_period_s=profile.choice_period_s,
-                    telemetry=telemetry,
-                    trace_context=telemetry.tracer.root_context(),
-                )
-                status = (
-                    NegotiationStatus.SUCCEEDED
-                    if candidate.satisfies_user
-                    else NegotiationStatus.FAILED_WITH_OFFER
-                )
-                sp5.set_attribute("attempts", attempts)
-                sp5.set_attribute("breaker_skips", skips)
-                sp5.set_attribute("outcome", str(status))
-                sp5.set_attribute("chosen", candidate.offer.offer_id)
-                return NegotiationResult(
-                    status=status,
-                    user_offer=derive_user_offer(
-                        candidate.offer, profile.desired.time
-                    ),
-                    chosen=candidate,
-                    commitment=commitment,
-                    classified=classified,
-                    offer_space=space,
-                    attempts=attempts,
-                )
-            # "If the whole set of the feasible system offers are
-            # considered and no resources are available" (§4 step 5):
-            sp5.set_attribute("attempts", attempts)
-            sp5.set_attribute("breaker_skips", skips)
-            sp5.set_attribute(
-                "outcome", str(NegotiationStatus.FAILED_TRY_LATER)
+            chosen, commitment, attempts, skips = self._attempt_walk(
+                itertools.chain(satisfying, fallback),
+                space, profile, client, guarantee, holder,
             )
+            return self._step5_result(
+                sp5, chosen, commitment, attempts, skips,
+                classified=classified, space=space, profile=profile,
+                rest=None,
+            )
+
+    def _commit_stream(
+        self,
+        stream: "Iterator[ClassifiedOffer]",
+        space: OfferSpace,
+        profile: UserProfile,
+        client: ClientMachine,
+        guarantee: GuaranteeType,
+        *,
+        offers_in: int,
+    ) -> NegotiationResult:
+        """Step 5 over the lazy stream, in the same two-pass order as
+        the eager walk: user-satisfying offers are attempted as they
+        arrive (the stream is best-first, so their relative order
+        matches the eager satisfying pass), non-satisfying ones are
+        buffered and attempted after the stream drains.  The attempt
+        sequence — and hence the outcome — is identical to
+        :meth:`_commit_best` over the fully sorted list."""
+        holder = f"session-{next(self._holders)}"
+        consumed: list[ClassifiedOffer] = []
+        deferred: list[ClassifiedOffer] = []
+
+        def candidates() -> "Iterator[ClassifiedOffer]":
+            for item in stream:
+                consumed.append(item)
+                if item.satisfies_user:
+                    yield item
+                else:
+                    deferred.append(item)
+            yield from deferred
+
+        with self.telemetry.span(
+            "negotiation.step5.commit",
+            offers_in=offers_in,
+            holder=holder,
+        ) as sp5:
+            chosen, commitment, attempts, skips = self._attempt_walk(
+                candidates(), space, profile, client, guarantee, holder
+            )
+            return self._step5_result(
+                sp5, chosen, commitment, attempts, skips,
+                classified=consumed, space=space, profile=profile,
+                rest=stream,
+            )
+
+    def _attempt_walk(
+        self,
+        candidates: "Iterable[ClassifiedOffer]",
+        space: OfferSpace,
+        profile: UserProfile,
+        client: ClientMachine,
+        guarantee: GuaranteeType,
+        holder: str,
+    ) -> "tuple[ClassifiedOffer | None, Commitment | None, int, int]":
+        """Try to commit candidates in the order given; stop at the
+        first success.  Returns (chosen, commitment, attempts, skips)
+        with ``chosen=None`` when every candidate was exhausted."""
+        health = self.committer.health
+        telemetry = self.telemetry
+        attempts = 0
+        skips = 0
+        for candidate in candidates:
+            if health is not None:
+                now = self.clock.now()
+                if not all(
+                    health.allow(server_id, now)
+                    for server_id in candidate.offer.servers_used()
+                ):
+                    self.committer.stats.breaker_skips += 1
+                    skips += 1
+                    telemetry.count("breaker.skips")
+                    telemetry.count(
+                        "negotiation.offers.dropped", step="5"
+                    )
+                    with telemetry.span(
+                        "negotiation.step5.attempt",
+                        offer_id=candidate.offer.offer_id,
+                        servers=sorted(candidate.offer.servers_used()),
+                    ) as skip_span:
+                        skip_span.set_attribute(
+                            "outcome", "breaker-skip"
+                        )
+                    continue
+            attempts += 1
+            with telemetry.span(
+                "negotiation.step5.attempt",
+                offer_id=candidate.offer.offer_id,
+                servers=sorted(candidate.offer.servers_used()),
+            ) as attempt_span:
+                bundle = self.committer.try_commit(
+                    candidate.offer,
+                    space,
+                    client.access_point,
+                    guarantee=guarantee,
+                    holder=holder,
+                )
+                attempt_span.set_attribute(
+                    "outcome",
+                    "committed" if bundle is not None else "rolled-back",
+                )
+            if bundle is None:
+                telemetry.count("negotiation.offers.dropped", step="5")
+                continue
+            commitment = Commitment(
+                bundle,
+                self.committer,
+                reserved_at=self.clock.now(),
+                choice_period_s=profile.choice_period_s,
+                telemetry=telemetry,
+                trace_context=telemetry.tracer.root_context(),
+            )
+            return candidate, commitment, attempts, skips
+        return None, None, attempts, skips
+
+    def _step5_result(
+        self,
+        sp5: Any,
+        chosen: "ClassifiedOffer | None",
+        commitment: "Commitment | None",
+        attempts: int,
+        skips: int,
+        *,
+        classified: "list[ClassifiedOffer]",
+        space: OfferSpace,
+        profile: UserProfile,
+        rest: "Iterator[ClassifiedOffer] | None",
+    ) -> NegotiationResult:
+        sp5.set_attribute("attempts", attempts)
+        sp5.set_attribute("breaker_skips", skips)
+        if chosen is not None:
+            status = (
+                NegotiationStatus.SUCCEEDED
+                if chosen.satisfies_user
+                else NegotiationStatus.FAILED_WITH_OFFER
+            )
+            sp5.set_attribute("outcome", str(status))
+            sp5.set_attribute("chosen", chosen.offer.offer_id)
             return NegotiationResult(
-                status=NegotiationStatus.FAILED_TRY_LATER,
+                status=status,
+                user_offer=derive_user_offer(
+                    chosen.offer, profile.desired.time
+                ),
+                chosen=chosen,
+                commitment=commitment,
                 classified=classified,
                 offer_space=space,
                 attempts=attempts,
-                retry_after_s=self._retry_after_hint(),
+                _rest=rest,
             )
+        # "If the whole set of the feasible system offers are
+        # considered and no resources are available" (§4 step 5):
+        sp5.set_attribute(
+            "outcome", str(NegotiationStatus.FAILED_TRY_LATER)
+        )
+        return NegotiationResult(
+            status=NegotiationStatus.FAILED_TRY_LATER,
+            classified=classified,
+            offer_space=space,
+            attempts=attempts,
+            retry_after_s=self._retry_after_hint(),
+            _rest=rest,
+        )
 
     def _retry_after_hint(self) -> float:
         """When is retrying the whole negotiation first worthwhile?  The
@@ -480,12 +701,14 @@ class QoSManager:
         Any resources still held by ``previous`` are released first
         (rejecting the pending offer), then the procedure runs afresh
         with the edited profile.
+
+        ``reject`` already treats the expired/rejected/released states
+        as a no-op, so nothing is caught here: a journal-append fault
+        or a reject on a confirmed commitment is a real error and must
+        propagate instead of masquerading as "already expired".
         """
         if previous.commitment is not None:
-            try:
-                previous.commitment.reject(self.clock.now())
-            except NegotiationError:
-                pass  # already expired: nothing held
+            previous.commitment.reject(self.clock.now())
         return self.negotiate(document, profile, client, **kwargs)
 
     # -- helpers ------------------------------------------------------------------------

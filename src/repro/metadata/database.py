@@ -45,6 +45,18 @@ class MetadataDatabase:
         self._variants: dict[str, VariantRecord] = {}
         self._variants_by_monomedia: dict[str, list[str]] = {}
         self._variants_by_server: dict[str, list[str]] = {}
+        # Monotonic per-document mutation counters.  Cache layers key
+        # entries by (document_id, version) so any catalog change makes
+        # stale entries unreachable; the counter survives removal so a
+        # re-inserted document id never reuses an old version.
+        self._versions: dict[str, int] = {}
+
+    def version_of(self, document_id: str) -> int:
+        """The document's current mutation counter (0 when unknown)."""
+        return self._versions.get(document_id, 0)
+
+    def _bump_version(self, document_id: str) -> None:
+        self._versions[document_id] = self._versions.get(document_id, 0) + 1
 
     # -- ingestion -----------------------------------------------------------
 
@@ -83,6 +95,7 @@ class MetadataDatabase:
             )
             for variant in component.variants:
                 self._index_variant(VariantRecord.from_variant(variant))
+        self._bump_version(document.document_id)
 
     def insert_catalog(self, catalog: "DocumentCatalog | Iterable[Document]") -> None:
         for document in catalog:
@@ -98,6 +111,7 @@ class MetadataDatabase:
                 f"variant {variant.variant_id!r} already stored"
             )
         self._index_variant(VariantRecord.from_variant(variant))
+        self._bump_version(self._monomedia[variant.monomedia_id].document_id)
 
     def remove_variant(self, variant_id: str) -> None:
         record = self._variants.pop(variant_id, None)
@@ -105,11 +119,15 @@ class MetadataDatabase:
             raise NotFoundError(f"no variant {variant_id!r}")
         self._variants_by_monomedia[record.monomedia_id].remove(variant_id)
         self._variants_by_server[record.server_id].remove(variant_id)
+        owner = self._monomedia.get(record.monomedia_id)
+        if owner is not None:
+            self._bump_version(owner.document_id)
 
     def remove_document(self, document_id: str) -> None:
         record = self._documents.pop(document_id, None)
         if record is None:
             raise NotFoundError(f"no document {document_id!r}")
+        self._bump_version(document_id)
         for monomedia_id in record.monomedia_ids:
             self._monomedia.pop(monomedia_id, None)
             for variant_id in self._variants_by_monomedia.pop(monomedia_id, []):
@@ -259,4 +277,6 @@ class MetadataDatabase:
             db._monomedia[item["monomedia_id"]] = MonomediaRecord(**item)
         for item in blob.get("variants", ()):
             db._index_variant(VariantRecord(**item))
+        for document_id in db._documents:
+            db._bump_version(document_id)
         return db

@@ -1,0 +1,29 @@
+"""Negotiation throughput layer: caching, fingerprints and the bench.
+
+The §4 pipeline is a pure function of (document, client, profile,
+tariffs) until step 5 touches shared resource state; this package
+exploits that purity.  :mod:`repro.perf.cache` memoises the expensive
+pure prefixes (offer spaces, classification arrays) across requests;
+:mod:`repro.perf.fingerprint` provides the value-identity keys;
+:mod:`repro.perf.bench` measures the result and writes the repo's
+benchmark trajectory point (``BENCH_negotiation.json``).
+"""
+
+from .cache import CacheStats, NegotiationCache
+from .fingerprint import (
+    client_fingerprint,
+    cost_model_fingerprint,
+    importance_fingerprint,
+    mapper_fingerprint,
+    profile_fingerprint,
+)
+
+__all__ = [
+    "CacheStats",
+    "NegotiationCache",
+    "client_fingerprint",
+    "cost_model_fingerprint",
+    "importance_fingerprint",
+    "mapper_fingerprint",
+    "profile_fingerprint",
+]

@@ -1,0 +1,377 @@
+"""The negotiation benchmark: ``python -m repro bench``.
+
+Measures negotiation throughput across a matrix of offer-space shapes
+(``variants`` per axis × ``axes`` monomedia, spanning 2–8 variants and
+2–6 axes) and four pipeline configurations — {full sort, best-first
+streaming} × {cache off, cache on} — and writes the result to
+``BENCH_negotiation.json``, the first point of the repo's benchmark
+trajectory.
+
+Besides throughput (negotiations/s, classified offers/s, p50/p99 wall
+latency) the bench *asserts outcome equivalence*: every configuration
+must commit the same offer with the same status and the same attempt
+count on every seed scenario, round for round.  A divergence makes the
+run fail (exit 1), which is the CI gate for the streaming path.
+
+This module intentionally reads the wall clock — it measures real
+compute, not simulated time — so the REP001/REP011 timing bans are
+suppressed line by line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass
+from time import perf_counter  # reprolint: disable=REP001,REP011 -- the bench measures real wall time
+
+from ..cmfs.admission import AdmissionController
+from ..cmfs.disk import DiskModel
+from ..cmfs.server import MediaServer
+from ..client.machine import ClientMachine
+from ..core.importance import default_importance
+from ..core.negotiation import QoSManager
+from ..core.profiles import MMProfile, UserProfile
+from ..documents.builder import DocumentBuilder, MonomediaBuilder
+from ..documents.document import Document
+from ..documents.media import Codecs, ColorMode, Medium, TV_RESOLUTION
+from ..documents.quality import VideoQoS
+from ..metadata.database import MetadataDatabase
+from ..network.topology import Topology
+from ..network.transport import TransportSystem
+from ..util.clock import ManualClock
+from .cache import NegotiationCache
+
+__all__ = [
+    "BENCH_CELLS",
+    "QUICK_CELLS",
+    "SIX_AXIS_CELL",
+    "add_bench_arguments",
+    "run_bench",
+    "run_bench_command",
+    "main",
+]
+
+# (variants per axis, axes).  Spans 2–8 variants and 2–6 monomedia;
+# the largest cells hold 8^4 = 4096 offers.
+BENCH_CELLS: "tuple[tuple[int, int], ...]" = (
+    (2, 2), (4, 2), (8, 2),
+    (2, 4), (4, 4), (8, 4),
+    (2, 6), (3, 6), (4, 6),
+)
+QUICK_CELLS: "tuple[tuple[int, int], ...]" = ((2, 2), (4, 4), (4, 6))
+SIX_AXIS_CELL: "tuple[int, int]" = (4, 6)
+SPEEDUP_THRESHOLD = 5.0
+
+CONFIGS: "tuple[tuple[str, str, bool], ...]" = (
+    # (label, offer_mode, cached)
+    ("full", "full", False),
+    ("full+cache", "full", True),
+    ("stream", "stream", False),
+    ("stream+cache", "stream", True),
+)
+
+# The eight bench variant flavours, best-first by construction: the
+# lead combination satisfies the desired profile, the tail ones only
+# the worst-acceptable bound.  A document with V variants per axis
+# takes the first V.
+_VARIANT_FLAVOURS: "tuple[tuple[ColorMode, int], ...]" = (
+    (ColorMode.COLOR, 25),
+    (ColorMode.COLOR, 15),
+    (ColorMode.COLOR, 10),
+    (ColorMode.GREY, 25),
+    (ColorMode.GREY, 15),
+    (ColorMode.GREY, 10),
+    (ColorMode.COLOR, 5),
+    (ColorMode.GREY, 5),
+)
+
+_SERVER_IDS = ("server-a", "server-b", "server-c")
+_DURATION_S = 30.0
+
+
+def _bench_document(variants: int, axes: int) -> Document:
+    """A synthetic document with ``axes`` video monomedia of
+    ``variants`` variants each — offer space of ``variants**axes``."""
+    builder = DocumentBuilder(
+        f"doc.bench-{variants}x{axes}",
+        f"bench article {variants} variants x {axes} axes",
+    )
+    for axis in range(axes):
+        mono = MonomediaBuilder(
+            f"doc.bench-{variants}x{axes}.m{axis + 1}",
+            Medium.VIDEO,
+            f"segment {axis + 1}",
+            _DURATION_S,
+        )
+        for index, (color, frame_rate) in enumerate(
+            _VARIANT_FLAVOURS[:variants]
+        ):
+            mono.add_variant(
+                Codecs.MPEG1,
+                VideoQoS(
+                    color=color,
+                    frame_rate=frame_rate,
+                    resolution=TV_RESOLUTION,
+                ),
+                _SERVER_IDS[(axis + index) % len(_SERVER_IDS)],
+            )
+        builder.add(mono)
+    return builder.copyright(0.25).build()
+
+
+def _bench_profile() -> UserProfile:
+    """Desires the lead flavour, tolerates the worst one, with a cost
+    ceiling high enough that the best offers commit on first attempt —
+    the head-heavy case the streaming path is built for."""
+    return UserProfile(
+        name="bench",
+        desired=MMProfile(
+            video=VideoQoS(
+                color=ColorMode.COLOR, frame_rate=25, resolution=TV_RESOLUTION
+            ),
+            cost=500.0,
+        ),
+        worst=MMProfile(
+            video=VideoQoS(
+                color=ColorMode.GREY, frame_rate=5, resolution=TV_RESOLUTION
+            ),
+            cost=500.0,
+        ),
+        importance=default_importance(),
+    )
+
+
+def _deployment(
+    document: Document, offer_mode: str, cached: bool
+) -> "tuple[QoSManager, ClientMachine]":
+    servers = {
+        server_id: MediaServer(
+            server_id,
+            disk=DiskModel(),
+            admission=AdmissionController(
+                disk=DiskModel(), nic_bps=622e6, max_streams=256
+            ),
+        )
+        for server_id in _SERVER_IDS
+    }
+    topology = Topology()
+    for server in servers.values():
+        topology.connect(
+            server.access_point, "backbone", 622e6,
+            link_id=f"L-{server.server_id}",
+        )
+    topology.connect("client-net", "backbone", 622e6, link_id="L-client")
+    database = MetadataDatabase()
+    database.insert_document(document)
+    manager = QoSManager(
+        database=database,
+        transport=TransportSystem(topology),
+        servers=servers,
+        clock=ManualClock(),
+        offer_mode=offer_mode,
+        cache=NegotiationCache() if cached else None,
+    )
+    client = ClientMachine("bench-client", access_point="client-net")
+    return manager, client
+
+
+@dataclass
+class _ConfigRun:
+    signatures: "list[tuple[str, str | None, int]]"
+    latencies_s: "list[float]"
+    offers_classified: int
+    elapsed_s: float
+
+    def metrics(self, rounds: int) -> "dict[str, float]":
+        ordered = sorted(self.latencies_s)
+
+        def pct(q: float) -> float:
+            if not ordered:
+                return 0.0
+            index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+            return ordered[index]
+
+        elapsed = max(self.elapsed_s, 1e-9)
+        return {
+            "negotiations_per_s": rounds / elapsed,
+            "offers_per_s": self.offers_classified / elapsed,
+            "latency_p50_ms": pct(0.50) * 1e3,
+            "latency_p99_ms": pct(0.99) * 1e3,
+            "elapsed_s": elapsed,
+        }
+
+
+def _run_config(
+    document: Document, offer_mode: str, cached: bool, rounds: int
+) -> _ConfigRun:
+    manager, client = _deployment(document, offer_mode, cached)
+    profile = _bench_profile()
+    # One unmeasured warm-up round: the cached configurations are meant
+    # to measure the steady state, not the first-request miss.
+    warmup = manager.negotiate(document.document_id, profile, client)
+    if warmup.commitment is not None:
+        warmup.commitment.reject(manager.clock.now())
+
+    signatures: "list[tuple[str, str | None, int]]" = []
+    latencies: "list[float]" = []
+    offers = 0
+    started = perf_counter()  # reprolint: disable=REP001,REP011 -- bench wall time
+    for _ in range(rounds):
+        t0 = perf_counter()  # reprolint: disable=REP001,REP011 -- bench wall time
+        result = manager.negotiate(document.document_id, profile, client)
+        t1 = perf_counter()  # reprolint: disable=REP001,REP011 -- bench wall time
+        latencies.append(t1 - t0)
+        offers += len(result.classified)
+        signatures.append(
+            (
+                result.status.name,
+                result.chosen.offer.offer_id if result.chosen else None,
+                result.attempts,
+            )
+        )
+        if result.commitment is not None:
+            result.commitment.reject(manager.clock.now())
+    elapsed = perf_counter() - started  # reprolint: disable=REP001,REP011 -- bench wall time
+    return _ConfigRun(
+        signatures=signatures,
+        latencies_s=latencies,
+        offers_classified=offers,
+        elapsed_s=elapsed,
+    )
+
+
+def run_bench(
+    *, quick: bool = False, rounds: "int | None" = None
+) -> "dict[str, object]":
+    """Run the full matrix; return the report dict (see module doc)."""
+    cells = QUICK_CELLS if quick else BENCH_CELLS
+    report_cells: "list[dict[str, object]]" = []
+    all_equivalent = True
+    speedups: "dict[str, float]" = {}
+
+    for variants, axes in cells:
+        document = _bench_document(variants, axes)
+        offer_count = variants ** axes
+        cell_rounds = rounds or (12 if offer_count <= 256 else 6)
+        runs: "dict[str, _ConfigRun]" = {}
+        for label, offer_mode, cached in CONFIGS:
+            runs[label] = _run_config(
+                document, offer_mode, cached, cell_rounds
+            )
+        baseline = runs["full"].signatures
+        equivalent = all(
+            run.signatures == baseline for run in runs.values()
+        )
+        all_equivalent = all_equivalent and equivalent
+        cell_report: "dict[str, object]" = {
+            "variants": variants,
+            "axes": axes,
+            "offer_count": offer_count,
+            "rounds": cell_rounds,
+            "first_committed": baseline[0][1] if baseline else None,
+            "status": baseline[0][0] if baseline else None,
+            "equivalent": equivalent,
+            "configs": {
+                label: run.metrics(cell_rounds)
+                for label, run in runs.items()
+            },
+        }
+        report_cells.append(cell_report)
+        if (variants, axes) == SIX_AXIS_CELL:
+            full = runs["full"].metrics(cell_rounds)["negotiations_per_s"]
+            fast = runs["stream+cache"].metrics(cell_rounds)[
+                "negotiations_per_s"
+            ]
+            speedups["six_axis_stream_cache_vs_full"] = (
+                fast / full if full else 0.0
+            )
+
+    six_axis_speedup = speedups.get("six_axis_stream_cache_vs_full")
+    return {
+        "schema": "bench-negotiation/v1",
+        "command": "python -m repro bench" + (" --quick" if quick else ""),
+        "quick": quick,
+        "cells": report_cells,
+        "summary": {
+            "all_outcomes_equivalent": all_equivalent,
+            "six_axis_cell": list(SIX_AXIS_CELL),
+            "six_axis_speedup_stream_cache_vs_full": six_axis_speedup,
+            "speedup_threshold": SPEEDUP_THRESHOLD,
+            "six_axis_speedup_ok": (
+                six_axis_speedup is None
+                or six_axis_speedup >= SPEEDUP_THRESHOLD
+            ),
+        },
+    }
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small 3-cell matrix (CI-friendly)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=None,
+        help="override measured rounds per cell",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_negotiation.json",
+        help="report path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--require-speedup", action="store_true",
+        help="also fail when the 6-axis streaming+cache speedup is "
+        "below the threshold (only meaningful on quiet machines)",
+    )
+
+
+def run_bench_command(args: argparse.Namespace) -> int:
+    report = run_bench(quick=args.quick, rounds=args.rounds)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    summary = report["summary"]
+    assert isinstance(summary, dict)
+    speedup = summary["six_axis_speedup_stream_cache_vs_full"]
+    print(f"wrote {args.output}")
+    for cell in report["cells"]:  # type: ignore[union-attr]
+        assert isinstance(cell, dict)
+        configs = cell["configs"]
+        assert isinstance(configs, dict)
+        line = ", ".join(
+            f"{label}={metrics['negotiations_per_s']:.0f}/s"
+            for label, metrics in configs.items()
+        )
+        print(
+            f"  {cell['variants']}^{cell['axes']}"
+            f" ({cell['offer_count']} offers, {cell['status']}):"
+            f" {line}"
+        )
+    if speedup is not None:
+        print(
+            f"6-axis streaming+cache speedup vs full sort: {speedup:.1f}x "
+            f"(threshold {SPEEDUP_THRESHOLD}x)"
+        )
+    if not summary["all_outcomes_equivalent"]:
+        print("FAIL: negotiation outcomes diverged between configurations")
+        return 1
+    if args.require_speedup and not summary["six_axis_speedup_ok"]:
+        print("FAIL: 6-axis speedup below threshold")
+        return 1
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="negotiation throughput benchmark "
+        "(streaming vs full sort, cache on/off)",
+    )
+    add_bench_arguments(parser)
+    return run_bench_command(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,235 @@
+"""Fingerprint-keyed LRU caches for the negotiation hot path.
+
+Two stores, layered the way the §4 pipeline is:
+
+* **spaces** — built :class:`~repro.core.enumeration.OfferSpace`s,
+  keyed by (document id, document version, client capability
+  fingerprint, guarantee, cost-model fingerprint, mapper fingerprint).
+  The space is pure function of those inputs, so a head-heavy request
+  mix (ROADMAP's Zipf document popularity) re-enumerates nothing.
+* **classifications** — the vectorized
+  :class:`~repro.core.classification.ClassificationArrays` (the
+  broadcast sums and the lexsort), keyed by the space key plus the
+  profile, importance and policy fingerprints.
+
+Invalidation rides on :meth:`MetadataDatabase.version_of`: every
+catalog mutation bumps the document's version counter, which changes
+the key, so stale entries simply stop being reachable and age out of
+the LRU.  :meth:`NegotiationCache.invalidate_document` drops them
+eagerly when memory matters.
+
+Requests carrying a preference ``variant_filter`` build per-user
+spaces and must bypass the cache entirely — that decision is made by
+the caller (``QoSManager``), which is the only place that knows.
+
+Hits, misses and evictions are counted both on :class:`CacheStats`
+(always, for tests and the bench) and through the telemetry hub under
+``cache.hits`` / ``cache.misses`` / ``cache.evictions`` with a
+``store`` label.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+from ..client.machine import ClientMachine
+from ..core.classification import ClassificationArrays, ClassificationPolicy
+from ..core.cost import CostModel
+from ..core.enumeration import OfferSpace
+from ..core.importance import ImportanceProfile
+from ..core.mapping import QoSMapper
+from ..core.profiles import UserProfile
+from ..network.transport import GuaranteeType
+from ..telemetry import Telemetry
+from ..util.errors import ValidationError
+from .fingerprint import (
+    client_fingerprint,
+    cost_model_fingerprint,
+    importance_fingerprint,
+    mapper_fingerprint,
+    profile_fingerprint,
+)
+
+__all__ = ["CacheStats", "NegotiationCache"]
+
+SPACES = "spaces"
+CLASSIFICATIONS = "classifications"
+
+
+@dataclass
+class CacheStats:
+    """Per-store hit/miss/eviction counters."""
+
+    hits: dict[str, int] = field(
+        default_factory=lambda: {SPACES: 0, CLASSIFICATIONS: 0}
+    )
+    misses: dict[str, int] = field(
+        default_factory=lambda: {SPACES: 0, CLASSIFICATIONS: 0}
+    )
+    evictions: dict[str, int] = field(
+        default_factory=lambda: {SPACES: 0, CLASSIFICATIONS: 0}
+    )
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        return {
+            "hits": dict(self.hits),
+            "misses": dict(self.misses),
+            "evictions": dict(self.evictions),
+        }
+
+
+class _LRUStore:
+    """One bounded LRU mapping with stats + telemetry accounting."""
+
+    def __init__(
+        self,
+        name: str,
+        max_entries: int,
+        stats: CacheStats,
+        telemetry: Telemetry,
+    ) -> None:
+        if max_entries < 1:
+            raise ValidationError(
+                f"cache store {name!r} needs max_entries >= 1, "
+                f"got {max_entries}"
+            )
+        self.name = name
+        self.max_entries = max_entries
+        self._stats = stats
+        self._telemetry = telemetry
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: Hashable, compute: "Callable[[], object]") -> object:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self._stats.hits[self.name] += 1
+            self._telemetry.count("cache.hits", store=self.name)
+            return entry
+        self._stats.misses[self.name] += 1
+        self._telemetry.count("cache.misses", store=self.name)
+        value = compute()
+        self._entries[key] = value
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self._evicted(1)
+        return value
+
+    def drop_where(self, predicate: "Callable[[Hashable], bool]") -> int:
+        doomed = [key for key in self._entries if predicate(key)]
+        for key in doomed:
+            del self._entries[key]
+        if doomed:
+            self._evicted(len(doomed))
+        return len(doomed)
+
+    def clear(self) -> None:
+        if self._entries:
+            self._evicted(len(self._entries))
+        self._entries.clear()
+
+    def _evicted(self, count: int) -> None:
+        self._stats.evictions[self.name] += count
+        self._telemetry.count("cache.evictions", float(count), store=self.name)
+
+
+class NegotiationCache:
+    """The process-wide negotiation cache (spaces + classifications)."""
+
+    def __init__(
+        self,
+        *,
+        max_spaces: int = 128,
+        max_classifications: int = 512,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
+        self.telemetry = telemetry or Telemetry.disabled()
+        self.stats = CacheStats()
+        self._spaces = _LRUStore(
+            SPACES, max_spaces, self.stats, self.telemetry
+        )
+        self._classifications = _LRUStore(
+            CLASSIFICATIONS, max_classifications, self.stats, self.telemetry
+        )
+
+    # -- keys ---------------------------------------------------------------------
+
+    @staticmethod
+    def space_key(
+        *,
+        document_id: str,
+        version: int,
+        client: ClientMachine,
+        guarantee: GuaranteeType,
+        cost_model: CostModel,
+        mapper: QoSMapper,
+    ) -> tuple[str, int, str, str, str, str]:
+        return (
+            document_id,
+            version,
+            client_fingerprint(client),
+            guarantee.value,
+            cost_model_fingerprint(cost_model),
+            mapper_fingerprint(mapper),
+        )
+
+    # -- lookups ------------------------------------------------------------------
+
+    def offer_space(
+        self,
+        key: "tuple[str, int, str, str, str, str]",
+        build: "Callable[[], OfferSpace]",
+    ) -> OfferSpace:
+        """The cached offer space for ``key``, building on miss."""
+        space = self._spaces.lookup(key, build)
+        assert isinstance(space, OfferSpace)
+        return space
+
+    def classification(
+        self,
+        space_key: "tuple[str, int, str, str, str, str]",
+        profile: UserProfile,
+        importance: ImportanceProfile,
+        policy: ClassificationPolicy,
+        compute: "Callable[[], ClassificationArrays]",
+    ) -> ClassificationArrays:
+        """The cached classification arrays for one (space, user) pair."""
+        key = space_key + (
+            profile_fingerprint(profile),
+            importance_fingerprint(importance),
+            policy.value,
+        )
+        arrays = self._classifications.lookup(key, compute)
+        assert isinstance(arrays, ClassificationArrays)
+        return arrays
+
+    # -- maintenance --------------------------------------------------------------
+
+    def invalidate_document(self, document_id: str) -> int:
+        """Eagerly drop every entry derived from ``document_id``.
+
+        Version-keyed lookups already make stale entries unreachable;
+        this reclaims their memory immediately (e.g. on document
+        removal).  Returns the number of entries dropped.
+        """
+        dropped = self._spaces.drop_where(lambda key: key[0] == document_id)
+        dropped += self._classifications.drop_where(
+            lambda key: key[0] == document_id
+        )
+        return dropped
+
+    def clear(self) -> None:
+        self._spaces.clear()
+        self._classifications.clear()
+
+    @property
+    def entry_counts(self) -> dict[str, int]:
+        return {
+            SPACES: len(self._spaces),
+            CLASSIFICATIONS: len(self._classifications),
+        }

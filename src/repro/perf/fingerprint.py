@@ -1,0 +1,97 @@
+"""Structural fingerprints for negotiation cache keys.
+
+Cache keys must identify *values*, not object identities:
+``default_cost_model()`` builds a fresh ``CostModel`` per call, every
+request may carry its own ``ClientMachine`` instance, and profiles are
+routinely reconstructed from the standard set.  Each helper therefore
+renders the object's classification-relevant state to a canonical
+string and hashes it, so two structurally equal inputs share cache
+entries no matter where they were built.
+
+Only state that can change the offer space or the classification
+arrays enters a fingerprint; presentation details (client id, access
+point, profile name) deliberately do not.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..client.machine import ClientMachine
+from ..core.cost import CostModel
+from ..core.importance import ImportanceProfile
+from ..core.mapping import QoSMapper
+from ..core.profiles import UserProfile
+
+__all__ = [
+    "digest",
+    "client_fingerprint",
+    "cost_model_fingerprint",
+    "mapper_fingerprint",
+    "profile_fingerprint",
+    "importance_fingerprint",
+]
+
+
+def digest(payload: str) -> str:
+    """Short stable digest of a canonical state string."""
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def client_fingerprint(client: ClientMachine) -> str:
+    """Capability fingerprint: everything step 1/2 reads off the
+    machine.  The client id and access point are identity, not
+    capability, and are excluded — a thousand identical workstations
+    share one offer space."""
+    decoders = sorted(
+        f"{type(decoder).__name__}:{decoder!r}" for decoder in client.decoders
+    )
+    return digest(
+        repr(
+            (
+                client.screen_width,
+                client.screen_height,
+                client.screen_color.value,
+                client.max_frame_rate,
+                client.audio_output,
+                client.interface_bps,
+                tuple(decoders),
+            )
+        )
+    )
+
+
+def cost_model_fingerprint(model: CostModel) -> str:
+    """Tariff fingerprint: both cost tables plus the discount.  Table
+    rows are frozen dataclasses with value-stable reprs."""
+    return digest(
+        repr(
+            (
+                model.network.classes,
+                model.server.classes,
+                model.best_effort_discount,
+            )
+        )
+    )
+
+
+def mapper_fingerprint(mapper: QoSMapper) -> str:
+    """QoS→flow-spec mapping fingerprint."""
+    return digest(
+        f"{type(mapper).__name__}:"
+        f"{(mapper.discrete_window_s, mapper.rate_scale)!r}"
+    )
+
+
+def profile_fingerprint(profile: UserProfile) -> str:
+    """The profile state classification reads: the desired and
+    worst-acceptable MM profiles (QoS bounds and the two cost bounds).
+    The name, importance (fingerprinted separately) and preferences
+    (which bypass the cache) are excluded."""
+    return digest(repr((profile.desired, profile.worst)))
+
+
+def importance_fingerprint(importance: ImportanceProfile) -> str:
+    """Importance-profile fingerprint; frozen dataclass reprs render
+    all anchor/override/weight tables."""
+    return digest(repr(importance))

@@ -115,6 +115,8 @@ def build_scenario(
     retry_seed: int = 0,
     journal=None,
     telemetry_seed: "int | None" = None,
+    offer_mode: str = "full",
+    use_cache: bool = False,
 ) -> Scenario:
     """Build the default deployment from ``spec``.
 
@@ -122,6 +124,11 @@ def build_scenario(
     :class:`~repro.telemetry.Telemetry` hub seeded with it is wired into
     the manager, the server fleet, the transport, the journal and the
     breaker, and exposed as ``Scenario.telemetry``.
+
+    ``offer_mode`` selects how steps 3–5 consume the offer space
+    (``full``/``stream``/``auto``); ``use_cache`` wires a
+    :class:`~repro.perf.NegotiationCache` into the manager.  Both are
+    pure throughput knobs: negotiation outcomes are identical.
     """
     spec = spec or ScenarioSpec()
 
@@ -209,6 +216,11 @@ def build_scenario(
         transport = HierarchicalTransport(topology, dmap)
     else:
         transport = TransportSystem(topology)
+    cache = None
+    if use_cache:
+        from ..perf.cache import NegotiationCache
+
+        cache = NegotiationCache(telemetry=telemetry)
     manager = QoSManager(
         database=database,
         transport=transport,
@@ -224,6 +236,8 @@ def build_scenario(
         retry_seed=retry_seed,
         journal=journal,
         telemetry=telemetry,
+        offer_mode=offer_mode,
+        cache=cache,
     )
     if telemetry is not None:
         transport.telemetry = telemetry

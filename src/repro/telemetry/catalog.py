@@ -103,6 +103,16 @@ METRICS: "tuple[MetricSpec, ...]" = (
              "liveness signals (explicit heartbeats or playout progress)"),
     _counter("supervisor.releases", "sessions",
              "sessions released by the supervisor (stalled or dead)"),
+    # -- negotiation cache (repro.perf) ---------------------------------------------
+    _counter("cache.hits", "lookups",
+             "negotiation cache lookups served from memory, by store",
+             "store"),
+    _counter("cache.misses", "lookups",
+             "negotiation cache lookups that had to compute, by store",
+             "store"),
+    _counter("cache.evictions", "entries",
+             "negotiation cache entries evicted (LRU or invalidation), "
+             "by store", "store"),
     # -- substrate ledgers ----------------------------------------------------------
     _counter("server.streams.reserved", "streams",
              "stream admissions granted, by server", "server"),

@@ -168,6 +168,41 @@ class TestVectorizedAgreement:
         assert classify_space(space, balanced_profile, default_importance()) == []
 
 
+class TestTopKValidation:
+    """Regression: ``top_k=0`` used to clamp to "no truncation" and
+    silently return the full ranking instead of rejecting the value."""
+
+    @pytest.fixture
+    def space(self):
+        document = make_news_article("doc.topk0")
+        return build_offer_space(
+            document, ClientMachine("c1"), default_cost_model()
+        )
+
+    @pytest.mark.parametrize("bad", [0, -1, -7])
+    def test_classify_space_rejects_non_positive(
+        self, space, balanced_profile, bad
+    ):
+        from repro.util.errors import ValidationError
+
+        with pytest.raises(ValidationError, match="top_k"):
+            classify_space(
+                space, balanced_profile, default_importance(), top_k=bad
+            )
+
+    def test_none_still_means_unbounded(self, space, balanced_profile):
+        full = classify_space(
+            space, balanced_profile, default_importance(), top_k=None
+        )
+        assert len(full) == space.offer_count
+
+    def test_one_is_the_smallest_valid_bound(self, space, balanced_profile):
+        top = classify_space(
+            space, balanced_profile, default_importance(), top_k=1
+        )
+        assert len(top) == 1
+
+
 class TestVectorCeiling:
     def test_oversized_space_rejected(self, balanced_profile, monkeypatch):
         import repro.core.classification as mod

@@ -6,8 +6,13 @@ from repro.client.decoder import Decoder, DecoderBank
 from repro.client.machine import ClientMachine
 from repro.core.cost import default_cost_model
 from repro.core.enumeration import build_offer_space
-from repro.documents.builder import make_news_article
-from repro.documents.media import Codecs
+from repro.documents.builder import (
+    DocumentBuilder,
+    MonomediaBuilder,
+    make_news_article,
+)
+from repro.documents.media import Codecs, ColorMode, Medium, TV_RESOLUTION
+from repro.documents.quality import VideoQoS
 from repro.util.errors import OfferError
 
 
@@ -100,3 +105,35 @@ class TestPrecomputation:
         axes = space.cost_cents_axes()
         assert len(axes) == 4
         assert all(len(a) > 0 for a in axes)
+
+    def test_spec_for_colliding_variant_ids(self, client):
+        # Regression: two monomedia may reuse the same variant_id.  The
+        # spec index must key on (monomedia_id, variant_id) — a lookup
+        # indexed on variant_id alone returned the *other* monomedia's
+        # spec for one of these.
+        builder = DocumentBuilder("doc.dup", "colliding variant ids")
+        for mono_index, frame_rate in ((1, 25), (2, 10)):
+            mono = MonomediaBuilder(
+                f"doc.dup.m{mono_index}", Medium.VIDEO,
+                f"segment {mono_index}", 30.0,
+            )
+            mono.add_variant(
+                Codecs.MPEG1,
+                VideoQoS(color=ColorMode.COLOR, frame_rate=frame_rate,
+                         resolution=TV_RESOLUTION),
+                "server-a",
+                variant_id="shared",
+            )
+            builder.add(mono)
+        space = build_offer_space(
+            builder.build(), client, default_cost_model()
+        )
+        for monomedia_id in space.monomedia_ids:
+            choice = space.axis(monomedia_id)[0]
+            assert choice.variant.variant_id == "shared"
+            assert space.spec_for(choice.variant) == choice.spec
+        fast, slow = (
+            space.spec_for(space.axis(mid)[0].variant)
+            for mid in space.monomedia_ids
+        )
+        assert fast != slow  # 25 f/s vs 10 f/s flows

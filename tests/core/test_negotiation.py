@@ -211,3 +211,66 @@ class TestMaxOffers:
         )
         assert second.succeeded
         second.commitment.release()
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_max_offers_non_positive_rejected(self, manager, document,
+                                              balanced_profile, client, bad):
+        # Regression: max_offers=0 used to fall through to classify's
+        # top_k clamp and return the full ranking instead of failing.
+        from repro.util.errors import ValidationError
+
+        with pytest.raises(ValidationError, match="max_offers"):
+            manager.negotiate(
+                document.document_id, balanced_profile, client,
+                max_offers=bad,
+            )
+
+
+class _FailingJournal:
+    """Journal stub whose append always dies mid-write."""
+
+    def append(self, *args, **kwargs):
+        from repro.util.errors import JournalError
+
+        raise JournalError("disk full")
+
+
+class TestRenegotiateErrorPropagation:
+    """Regression: renegotiate used to swallow *every* NegotiationError
+    from the previous commitment's reject(), hiding journal faults and
+    state violations behind a silent pass."""
+
+    def test_journal_failure_propagates(self, manager, document,
+                                        balanced_profile, client):
+        from repro.util.errors import JournalError
+
+        first = manager.negotiate(document.document_id, balanced_profile, client)
+        assert first.succeeded
+        manager.committer.journal = _FailingJournal()
+        with pytest.raises(JournalError):
+            manager.renegotiate(
+                first, document.document_id, balanced_profile, client
+            )
+
+    def test_confirmed_commitment_rejected_loudly(self, manager, clock,
+                                                  document, balanced_profile,
+                                                  client):
+        from repro.util.errors import ReservationError
+
+        first = manager.negotiate(document.document_id, balanced_profile, client)
+        first.commitment.confirm(clock.now())
+        with pytest.raises(ReservationError):
+            manager.renegotiate(
+                first, document.document_id, balanced_profile, client
+            )
+        first.commitment.release()
+
+    def test_already_rejected_is_harmless(self, manager, clock, document,
+                                          balanced_profile, client):
+        first = manager.negotiate(document.document_id, balanced_profile, client)
+        first.commitment.reject(clock.now())
+        second = manager.renegotiate(
+            first, document.document_id, balanced_profile, client
+        )
+        assert second.succeeded
+        second.commitment.release()

@@ -1,0 +1,159 @@
+"""Best-first offer streaming ≡ full classification (exact order)."""
+
+import itertools
+
+import pytest
+
+from repro.client.decoder import DecoderBank
+from repro.client.machine import ClientMachine
+from repro.core.classification import ClassificationPolicy, classify_space
+from repro.core.cost import default_cost_model
+from repro.core.enumeration import build_offer_space
+from repro.core.importance import default_importance
+from repro.core.preferences import UserPreferences
+from repro.core.status import NegotiationStatus
+from repro.core.stream import stream_classified
+from repro.documents.builder import make_news_article
+
+
+@pytest.fixture
+def space():
+    document = make_news_article("doc.stream")
+    return build_offer_space(
+        document, ClientMachine("c1"), default_cost_model()
+    )
+
+
+class TestStreamOrder:
+    @pytest.mark.parametrize("policy", list(ClassificationPolicy))
+    def test_exact_classified_order(self, space, balanced_profile, policy):
+        importance = default_importance()
+        streamed = list(
+            stream_classified(
+                space, balanced_profile, importance, policy=policy
+            )
+        )
+        full = classify_space(
+            space, balanced_profile, importance, policy=policy
+        )
+        assert len(streamed) == len(full) == space.offer_count
+        for s, f in zip(streamed, full):
+            assert s.offer.offer_id == f.offer.offer_id
+            assert s.sns is f.sns
+            assert s.affordable == f.affordable
+            # Bit-identical, not approximately equal: the stream replays
+            # the vectorized path's float operation order.
+            assert s.oif == f.oif
+
+    def test_lazy_prefix_no_full_drain(self, space, balanced_profile):
+        # The whole point: taking the head must not enumerate the tail.
+        head = list(
+            itertools.islice(
+                stream_classified(
+                    space, balanced_profile, default_importance()
+                ),
+                3,
+            )
+        )
+        full = classify_space(space, balanced_profile, default_importance())
+        assert [c.offer.offer_id for c in head] == [
+            c.offer.offer_id for c in full[:3]
+        ]
+
+    def test_empty_space_yields_nothing(self, balanced_profile):
+        # Same contract as classify_space: an empty space classifies
+        # to an empty ranking.
+        document = make_news_article("doc.stream-empty")
+        client = ClientMachine("bare", decoders=DecoderBank(()))
+        space = build_offer_space(document, client, default_cost_model())
+        assert list(
+            stream_classified(space, balanced_profile, default_importance())
+        ) == []
+
+
+class TestNegotiationModes:
+    def _signature(self, result):
+        return (
+            result.status,
+            result.chosen.offer.offer_id if result.chosen else None,
+            result.attempts,
+        )
+
+    @pytest.mark.parametrize("mode", ["stream", "auto"])
+    def test_same_outcome_as_full(self, manager, document, balanced_profile,
+                                  client, mode):
+        full = manager.negotiate(
+            document.document_id, balanced_profile, client, offer_mode="full"
+        )
+        full.commitment.release()
+        other = manager.negotiate(
+            document.document_id, balanced_profile, client, offer_mode=mode
+        )
+        assert self._signature(other) == self._signature(full)
+        other.commitment.release()
+
+    def test_ensure_classified_completes_ranking(self, manager, document,
+                                                 balanced_profile, client):
+        full = manager.negotiate(
+            document.document_id, balanced_profile, client, offer_mode="full"
+        )
+        full.commitment.release()
+        streamed = manager.negotiate(
+            document.document_id, balanced_profile, client,
+            offer_mode="stream",
+        )
+        # The stream result holds only the consumed prefix until drained.
+        assert len(streamed.classified) <= len(full.classified)
+        drained = streamed.ensure_classified()
+        assert [c.offer.offer_id for c in drained] == [
+            c.offer.offer_id for c in full.classified
+        ]
+        streamed.commitment.release()
+
+    def test_nontrivial_preferences_fall_back_to_full(
+        self, manager, document, balanced_profile, client
+    ):
+        # offer_bonus makes scores non-separable per axis; auto/stream
+        # must take the full-sort path and still agree with it.
+        from dataclasses import replace
+
+        biased = replace(
+            balanced_profile,
+            preferences=UserPreferences(
+                server_preference={"server-a": 0.5}
+            ),
+        )
+        full = manager.negotiate(
+            document.document_id, biased, client, offer_mode="full"
+        )
+        full.commitment.release()
+        auto = manager.negotiate(
+            document.document_id, biased, client, offer_mode="auto"
+        )
+        assert self._signature(auto) == self._signature(full)
+        # Fallback results are fully materialized, nothing left to drain.
+        assert len(auto.classified) == len(full.classified)
+        auto.commitment.release()
+
+    def test_try_later_signature_matches(self, manager, document,
+                                         balanced_profile, client, topology):
+        topology.link("L-client").set_congestion(1.0)
+        full = manager.negotiate(
+            document.document_id, balanced_profile, client, offer_mode="full"
+        )
+        streamed = manager.negotiate(
+            document.document_id, balanced_profile, client,
+            offer_mode="stream",
+        )
+        assert full.status is NegotiationStatus.FAILED_TRY_LATER
+        assert self._signature(streamed) == self._signature(full)
+
+    def test_invalid_mode_rejected(self, manager, document, balanced_profile,
+                                   client):
+        from repro.util.errors import ValidationError
+
+        with pytest.raises(ValidationError, match="offer_mode"):
+            manager.negotiate(
+                document.document_id, balanced_profile, client,
+                offer_mode="fastest",
+            )
