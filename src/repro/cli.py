@@ -17,6 +17,10 @@ Subcommands exercising the library from a shell:
   plus the per-step offer accounting (drop counts and reasons);
 * ``stats`` — run a telemetry-instrumented chaos or workload run and
   print the metrics snapshot plus the journal reconciliation audit;
+* ``storm`` — brown out a server at peak load over hundreds of
+  concurrent playouts and report how the admission gate and the storm
+  controller absorbed the renegotiation storm (``--json`` emits the
+  backpressure-on/off comparison);
 * ``experiments`` — list the E-series experiment index;
 * ``bench`` — run the negotiation throughput benchmark (streaming vs
   full sort, cache on/off) and write ``BENCH_negotiation.json``;
@@ -174,6 +178,41 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--json", action="store_true",
                        help="emit one canonical JSON document")
     add_telemetry_argument(stats)
+
+    storm = sub.add_parser(
+        "storm",
+        help="brown out a server at peak load, survive the "
+             "renegotiation storm",
+    )
+    storm.add_argument("--sessions", type=int, default=200,
+                       help="concurrent playout requests (default 200)")
+    storm.add_argument("--late-requests", type=int, default=40,
+                       help="arrivals during the brownout itself")
+    storm.add_argument("--severity", type=float, default=0.4,
+                       help="fraction of capacity lost (default 0.4)")
+    storm.add_argument("--brownout-start", type=float, default=90.0,
+                       metavar="S", help="brownout onset, seconds")
+    storm.add_argument("--brownout-duration", type=float, default=90.0,
+                       metavar="S", help="brownout length, seconds")
+    storm.add_argument("--servers", type=int, default=3)
+    storm.add_argument("--seed", type=int, default=1)
+    storm.add_argument("--profile", default="balanced")
+    storm.add_argument(
+        "--no-backpressure", action="store_true",
+        help="run the bare deployment only (the thundering-herd "
+             "baseline)",
+    )
+    storm.add_argument(
+        "--compare", action="store_true",
+        help="run backpressure on AND off from the same seed, print "
+             "the comparison",
+    )
+    storm.add_argument(
+        "--json", action="store_true",
+        help="emit the backpressure-on/off comparison as JSON "
+             "(implies --compare)",
+    )
+    add_telemetry_argument(storm)
 
     sub.add_parser("experiments", help="list the experiment index")
 
@@ -612,6 +651,60 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_storm(args) -> int:
+    import json
+
+    from .core import ProfileManager
+    from .sim import StormSpec, run_storm, run_storm_comparison
+    from .util.errors import NotFoundError, SimulationError, ValidationError
+
+    if args.profile not in ProfileManager():
+        print(f"unknown profile {args.profile!r}; have "
+              f"{ProfileManager().names()}", file=sys.stderr)
+        return 2
+    if args.no_backpressure and (args.compare or args.json):
+        print("--no-backpressure cannot be combined with "
+              "--compare/--json", file=sys.stderr)
+        return 2
+    try:
+        spec = StormSpec(
+            sessions=args.sessions,
+            late_requests=args.late_requests,
+            servers=args.servers,
+            severity=args.severity,
+            brownout_start_s=args.brownout_start,
+            brownout_duration_s=args.brownout_duration,
+            seed=args.seed,
+            profile_name=args.profile,
+            backpressure=not args.no_backpressure,
+            telemetry_seed=args.seed if args.telemetry is not None else None,
+            telemetry_jsonl=args.telemetry,
+        )
+        if args.compare or args.json:
+            comparison = run_storm_comparison(spec)
+            if args.json:
+                print(json.dumps(
+                    comparison.as_dict(), sort_keys=True, indent=2
+                ))
+            else:
+                print(comparison.with_backpressure.render())
+                print()
+                print(comparison.render())
+            report = comparison.with_backpressure
+        else:
+            report, _scenario = run_storm(spec)
+            if not args.json:
+                print(report.render())
+    except (NotFoundError, SimulationError, ValidationError) as error:
+        print(f"bad storm run: {error}", file=sys.stderr)
+        return 2
+    if not report.survived:
+        print("\nWARNING: the storm was not survived (stuck sessions, "
+              "leaks, or an unbalanced journal)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_experiments(_args) -> int:
     from .util.tables import render_table
 
@@ -675,6 +768,7 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         "recover": _cmd_recover,
         "trace": _cmd_trace,
         "stats": _cmd_stats,
+        "storm": _cmd_storm,
         "experiments": _cmd_experiments,
         "bench": _cmd_bench,
         "report": _cmd_report,

@@ -54,6 +54,12 @@ class MediaServer:
         self._streams: dict[str, StreamReservation] = {}
         self._sequence = itertools.count(1)
         self._degradation = 0.0
+        # Opt-in: a degraded server also refuses *new* admissions that
+        # would not fit its shrunken round budget.  Off by default — the
+        # adaptation experiments rely on degradation only shedding held
+        # streams; the storm scenario turns it on so mass renegotiation
+        # cannot trivially re-admit onto the browned-out machine.
+        self.degradation_limits_admission = False
         self._crashed = False
         # Thin fault-injection hook (see repro.faults.injector); None in
         # production paths so the happy path costs one identity check.
@@ -80,7 +86,23 @@ class MediaServer:
         return self.disk.round_feasibility(self.stream_rates()).disk_utilization
 
     def can_admit(self, rate_bps: float) -> AdmissionDecision:
-        return self.admission.evaluate(self.stream_rates(), rate_bps)
+        decision = self.admission.evaluate(self.stream_rates(), rate_bps)
+        if (
+            decision
+            and self.degradation_limits_admission
+            and self._degradation > 0.0
+        ):
+            rates = list(self.stream_rates()) + [rate_bps]
+            feasibility = self.disk.round_feasibility(rates)
+            budget = self.disk.round_s * (1.0 - self._degradation)
+            if feasibility.busy_s > budget + 1e-12:
+                return AdmissionDecision(
+                    False, "disk",
+                    f"round busy {feasibility.busy_s * 1e3:.1f} ms exceeds "
+                    f"degraded budget {budget * 1e3:.1f} ms "
+                    f"(degradation {self._degradation:g})",
+                )
+        return decision
 
     # -- admission / release -----------------------------------------------------------
 

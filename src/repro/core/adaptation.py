@@ -130,13 +130,19 @@ class AdaptationManager:
         *,
         position_s: float,
         exclude_offer_ids: frozenset[str] = frozenset(),
+        candidates: "list[ClassifiedOffer] | None" = None,
     ) -> AdaptationOutcome:
         """Attempt a transition away from the current offer.
 
         ``result`` must be a negotiation result that holds a commitment
         (the active session's).  ``exclude_offer_ids`` accumulates
         offers that already failed for this session so repeated
-        adaptations do not retry them.
+        adaptations do not retry them.  ``candidates`` restricts the
+        walk to an explicit classified subset — the storm controller's
+        downgrade-in-place fast path, which hands every member of a
+        capability-class batch the same short list instead of the whole
+        set; include the current offer in it so break-before-make can
+        still revert.
 
         On success the old reservation is released *after* the new one
         is held (make-before-break) and the new commitment is confirmed
@@ -155,6 +161,7 @@ class AdaptationManager:
                 client,
                 position_s=position_s,
                 exclude_offer_ids=exclude_offer_ids,
+                candidates=candidates,
             )
             label = self._outcome_label(outcome)
             telemetry.annotate(
@@ -171,6 +178,7 @@ class AdaptationManager:
         *,
         position_s: float,
         exclude_offer_ids: frozenset[str] = frozenset(),
+        candidates: "list[ClassifiedOffer] | None" = None,
     ) -> AdaptationOutcome:
         if result.commitment is None or result.chosen is None:
             raise AdaptationError(
@@ -186,8 +194,13 @@ class AdaptationManager:
 
         # Streaming negotiations keep only the consumed prefix on the
         # result; adaptation is the §4 consumer of "the whole set of
-        # feasible system offers", so drain the remainder now.
-        classified = result.ensure_classified()
+        # feasible system offers", so drain the remainder now — unless
+        # the caller restricted the walk to an explicit subset.
+        classified = (
+            candidates
+            if candidates is not None
+            else result.ensure_classified()
+        )
 
         def commit(exclude: frozenset) -> NegotiationResult:
             return self.manager._commit_best(

@@ -44,6 +44,7 @@ from ..util.errors import (
     CapacityError,
     ConfirmationTimeout,
     FaultTimeoutError,
+    ManagerCrashError,
     ReproError,
     ReservationError,
     ServerCrashedError,
@@ -457,6 +458,41 @@ class Commitment:
             record_type, self.bundle.holder, payload
         )
 
+    def _journal_and_flip(
+        self,
+        record_type: JournalRecordType,
+        payload: "Mapping[str, Any] | None",
+        new_state: "CommitmentState",
+    ) -> None:
+        """Journal + apply one lifecycle transition as a unit.
+
+        An injected manager crash fires *after* the record is durable
+        (the journal's crash hook runs post-append), so on
+        :class:`ManagerCrashError` the transition exists on disk but not
+        yet in memory.  Flip the state before re-raising — and for
+        terminal states hand the bundle over to recovery — otherwise a
+        post-recovery teardown (or the re-armed choicePeriod timer
+        racing a renegotiation) would journal the same terminal
+        transition a second time and double-release the reservation.
+        Any *other* append failure means the record is not durable; the
+        state is left untouched so the caller may legitimately retry.
+        """
+        terminal = new_state in (
+            CommitmentState.REJECTED,
+            CommitmentState.EXPIRED,
+            CommitmentState.RELEASED,
+        )
+        try:
+            self._journal_transition(record_type, payload)
+        except ManagerCrashError:
+            self.state = new_state
+            if terminal:
+                # The durable record makes journal replay redo the
+                # release against the ledgers: the bundle is recovery's.
+                self._bundle_released = True
+            raise
+        self.state = new_state
+
     def _release_bundle(self) -> None:
         """Return the held resources exactly once."""
         if self._bundle_released:
@@ -486,11 +522,11 @@ class Commitment:
 
     def _expire_if_due(self, now: float) -> None:
         if self.state is CommitmentState.PENDING and now > self.deadline:
-            self._journal_transition(
+            self._journal_and_flip(
                 JournalRecordType.EXPIRED,
                 {"offer_id": self.bundle.offer.offer_id},
+                CommitmentState.EXPIRED,
             )
-            self.state = CommitmentState.EXPIRED
             self._emit_step6("expired", now)
             self._release_bundle()
 
@@ -508,11 +544,11 @@ class Commitment:
             raise ReservationError(
                 f"cannot confirm a commitment in state {self.state.value}"
             )
-        self._journal_transition(
+        self._journal_and_flip(
             JournalRecordType.CONFIRMED,
             {"offer_id": self.bundle.offer.offer_id},
+            CommitmentState.CONFIRMED,
         )
-        self.state = CommitmentState.CONFIRMED
         self._emit_step6("confirmed", now)
 
     def reject(self, now: float) -> None:
@@ -529,11 +565,11 @@ class Commitment:
             raise ReservationError(
                 f"cannot reject a commitment in state {self.state.value}"
             )
-        self._journal_transition(
+        self._journal_and_flip(
             JournalRecordType.RELEASED,
             {"offer_id": self.bundle.offer.offer_id, "reason": "rejected"},
+            CommitmentState.REJECTED,
         )
-        self.state = CommitmentState.REJECTED
         self._emit_step6("rejected", now)
         self._release_bundle()
 
@@ -552,10 +588,10 @@ class Commitment:
             CommitmentState.EXPIRED,
         ):
             return
-        self._journal_transition(
+        self._journal_and_flip(
             JournalRecordType.RELEASED,
             {"offer_id": self.bundle.offer.offer_id, "reason": "teardown"},
+            CommitmentState.RELEASED,
         )
-        self.state = CommitmentState.RELEASED
         self._telemetry.count("commitment.outcomes", state="released")
         self._release_bundle()

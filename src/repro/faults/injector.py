@@ -51,6 +51,8 @@ class FaultStats:
     restarts: int = 0
     link_flaps: int = 0
     link_heals: int = 0
+    brownouts: int = 0
+    brownout_heals: int = 0
     transient_refusals: int = 0
     slow_admissions: int = 0
     timeouts: int = 0
@@ -64,6 +66,8 @@ class FaultStats:
             "restarts": self.restarts,
             "link_flaps": self.link_flaps,
             "link_heals": self.link_heals,
+            "brownouts": self.brownouts,
+            "brownout_heals": self.brownout_heals,
             "transient_refusals": self.transient_refusals,
             "slow_admissions": self.slow_admissions,
             "timeouts": self.timeouts,
@@ -174,6 +178,20 @@ class FaultInjector:
                     lambda s=server: self._restart(s),
                     label=f"fault:restart:{spec.target_id}",
                 )
+        for spec in self.plan.for_kind(FaultKind.SERVER_BROWNOUT):
+            server = self._server(spec.target_id)
+            severity = 0.5 if spec.value is None else spec.value
+            loop.at(
+                spec.start_s,
+                lambda s=server, sev=severity: self._brownout(s, sev),
+                label=f"fault:brownout:{spec.target_id}",
+            )
+            if spec.end_s is not None:
+                loop.at(
+                    spec.end_s,
+                    lambda s=server: self._brownout_heal(s),
+                    label=f"fault:brownout-heal:{spec.target_id}",
+                )
         for spec in self.plan.for_kind(FaultKind.LINK_FLAP):
             link = self._link(spec.target_id)
             severity = 1.0 if spec.value is None else spec.value
@@ -214,6 +232,14 @@ class FaultInjector:
     def _restart(self, server: "MediaServer") -> None:
         server.restart()
         self.stats.restarts += 1
+
+    def _brownout(self, server: "MediaServer", severity: float) -> None:
+        server.set_degradation(severity)
+        self.stats.brownouts += 1
+
+    def _brownout_heal(self, server: "MediaServer") -> None:
+        server.set_degradation(0.0)
+        self.stats.brownout_heals += 1
 
     def _flap(self, link: "Link", severity: float) -> None:
         link.set_congestion(severity)

@@ -46,6 +46,15 @@ class FaultKind(enum.Enum):
     """The link loses ``value`` of its capacity for the window (1.0 =
     fully down), then heals."""
 
+    SERVER_BROWNOUT = "server-brownout"
+    """The server loses ``value`` of its deliverable capacity for the
+    window (a failing disk, background maintenance, a noisy neighbour —
+    not a crash: the machine keeps serving what still fits).  The
+    shrunken round budget sheds the latest admissions, flooding the
+    monitor with violations — the mass-renegotiation storm the
+    :mod:`repro.storm` layer exists to survive.  Heals at window end.
+    Default severity 0.5."""
+
     LOST_RELEASE = "lost-release"
     """A release call is silently swallowed: the reservation leaks until
     the lease reaper recovers it."""
@@ -69,6 +78,8 @@ _ALIASES = {
     "transient-refusal": FaultKind.TRANSIENT_REFUSAL,
     "flap": FaultKind.LINK_FLAP,
     "link-flap": FaultKind.LINK_FLAP,
+    "brownout": FaultKind.SERVER_BROWNOUT,
+    "server-brownout": FaultKind.SERVER_BROWNOUT,
     "lost-release": FaultKind.LOST_RELEASE,
     "crash-manager": FaultKind.MANAGER_CRASH,
     "manager-crash": FaultKind.MANAGER_CRASH,
@@ -111,6 +122,13 @@ class FaultSpec:
         check_fraction(self.probability, "probability")
         if self.kind is FaultKind.LINK_FLAP and self.value is not None:
             check_fraction(self.value, "flap severity")
+        if self.kind is FaultKind.SERVER_BROWNOUT:
+            if self.value is not None:
+                check_fraction(self.value, "brownout severity")
+            if self.value is not None and self.value == 0.0:
+                raise ValidationError(
+                    "brownout severity 0 is a no-op; omit the fault instead"
+                )
         if self.kind is FaultKind.SLOW_ADMISSION and (
             self.value is None or self.value <= 0
         ):
@@ -187,6 +205,7 @@ def parse_fault_spec(text: str) -> FaultSpec:
 
         crash:server-a:10:30        # server-a down from t=10 for 30s
         flap:L-client-1:40:20:0.9   # link loses 90% capacity t=40..60
+        brownout:server-a:50:60:0.4 # server-a loses 40% capacity t=50..110
         slow:server-b:0:60:2.5      # +2.5s admission latency t=0..60
         refuse:server-a:0:-:2       # first 2 admissions refused
         lost-release:server-a:0:120 # releases swallowed t=0..120

@@ -28,7 +28,12 @@ from ..util.errors import (
     ValidationError,
 )
 from ..util.rng import RngLike, make_rng
-from ..util.validation import check_fraction, check_non_negative, check_positive
+from ..util.validation import (
+    check_at_least,
+    check_fraction,
+    check_non_negative,
+    check_positive,
+)
 
 __all__ = ["RETRYABLE_ERRORS", "is_retryable", "RetryPolicy", "execute_with_retry"]
 
@@ -69,19 +74,21 @@ class RetryPolicy:
     deadline_s: float = 30.0
 
     def __post_init__(self) -> None:
-        if self.max_attempts < 1:
-            raise ValidationError(
-                f"max_attempts must be >= 1, got {self.max_attempts}"
-            )
+        # Bare ``<`` comparisons are not enough here: NaN compares False
+        # against everything, so a NaN multiplier or attempt count used
+        # to slip through and poison every backoff computation.
+        check_at_least(self.max_attempts, 1, "max_attempts", integer=True)
         check_non_negative(self.base_delay_s, "base_delay_s")
         check_positive(self.max_delay_s, "max_delay_s")
-        if self.multiplier < 1.0:
-            raise ValidationError(
-                f"multiplier must be >= 1, got {self.multiplier}"
-            )
+        check_at_least(self.multiplier, 1.0, "multiplier")
         check_fraction(self.jitter, "jitter")
         check_positive(self.attempt_timeout_s, "attempt_timeout_s")
         check_positive(self.deadline_s, "deadline_s")
+        if self.max_delay_s < self.base_delay_s:
+            raise ValidationError(
+                f"max_delay_s ({self.max_delay_s!r}) must not be below "
+                f"base_delay_s ({self.base_delay_s!r})"
+            )
 
     def backoff_delay(
         self, attempt: int, rng: "np.random.Generator | None" = None

@@ -85,6 +85,11 @@ class PlayoutSession:
     def current_offer_id(self) -> str:
         return self.result.chosen.offer.offer_id  # type: ignore[union-attr]
 
+    @property
+    def excluded_offers(self) -> frozenset[str]:
+        """Offers this session already failed on (read-only view)."""
+        return frozenset(self._excluded_offers)
+
     def position_at(self, now: float) -> float:
         """Presentation position: advances while PLAYING or DEGRADED,
         frozen otherwise (the paper's transition stops the
@@ -153,9 +158,16 @@ class PlayoutSession:
             self.mark_degraded(now)
 
     def adapt(
-        self, adaptation: AdaptationManager, now: float
+        self,
+        adaptation: AdaptationManager,
+        now: float,
+        *,
+        candidates: "list | None" = None,
     ) -> AdaptationOutcome:
-        """Run the §4 adaptation procedure for this session."""
+        """Run the §4 adaptation procedure for this session.
+
+        ``candidates`` restricts the walk to an explicit classified
+        subset (the storm controller's batched fast path)."""
         if self.state in (SessionState.COMPLETED, SessionState.ABORTED):
             raise SessionError(
                 f"session {self.session_id} is {self.state.value}"
@@ -167,6 +179,7 @@ class PlayoutSession:
             self.client,
             position_s=position,
             exclude_offer_ids=frozenset(self._excluded_offers),
+            candidates=candidates,
         )
         self.apply_adaptation(outcome, now)
         return outcome

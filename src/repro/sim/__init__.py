@@ -15,6 +15,13 @@ from .experiment import RunConfig, run_workload
 from .recover import CrashRecoveryReport, CrashRecoverySpec, run_crash_recovery
 from .metrics import RunStats, StatusCounts, UtilizationIntegral
 from .scenario import Scenario, ScenarioSpec, build_scenario
+from .storm import (
+    StormComparison,
+    StormReport,
+    StormSpec,
+    run_storm,
+    run_storm_comparison,
+)
 from .workload import Request, WorkloadSpec, generate_requests, zipf_weights
 
 __all__ = [
@@ -40,6 +47,11 @@ __all__ = [
     "Scenario",
     "ScenarioSpec",
     "build_scenario",
+    "StormComparison",
+    "StormReport",
+    "StormSpec",
+    "run_storm",
+    "run_storm_comparison",
     "Request",
     "WorkloadSpec",
     "generate_requests",

@@ -53,6 +53,11 @@ class ScenarioSpec:
     replicate_stills: bool = False
     multi_domain: bool = False
     metro_transit_quota_bps: "float | None" = None
+    # Storm-scale knobs: a custom disk model for the whole fleet (None
+    # = the CITR-era default) and lean two-stream documents (video +
+    # audio only), so one deployment can hold hundreds of sessions.
+    disk: "DiskModel | None" = None
+    lean_documents: bool = False
 
     def __post_init__(self) -> None:
         if self.server_count < 1:
@@ -133,12 +138,13 @@ def build_scenario(
     spec = spec or ScenarioSpec()
 
     server_ids = [f"server-{chr(ord('a') + i)}" for i in range(spec.server_count)]
+    disk = spec.disk or DiskModel()  # frozen: safe to share
     servers = {
         server_id: MediaServer(
             server_id,
-            disk=DiskModel(),
+            disk=disk,
             admission=AdmissionController(
-                disk=DiskModel(),
+                disk=disk,
                 nic_bps=spec.server_access_bps,
                 max_streams=spec.max_streams_per_server,
             ),
@@ -176,6 +182,8 @@ def build_scenario(
                 video_servers=video_servers,
                 audio_servers=list(audio_servers)[:2],
                 still_server=server_ids[i % len(server_ids)],
+                include_image=not spec.lean_documents,
+                include_text=not spec.lean_documents,
             )
         )
 

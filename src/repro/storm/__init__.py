@@ -1,0 +1,32 @@
+"""Storm survival: backpressure and batched mass re-reservation.
+
+A *renegotiation storm* is what a brownout does to the active phase: a
+fractional capacity loss sheds dozens of holders in one monitor sweep,
+and every victim — plus every new arrival refused FAILEDTRYLATER —
+converges on the QoS manager at once.  This package keeps the manager
+live and leak-free through it:
+
+* :class:`~repro.storm.gate.AdmissionGate` — a token-bucket admission
+  gate with a bounded, seeded-jitter retry queue and explicit load
+  shedding (honest ``retry_after_s`` hints) in front of
+  ``negotiate``/``renegotiate``;
+* :class:`~repro.storm.controller.StormController` — buffers violations
+  into waves, batches victims by capability class, downgrades in place
+  along a short class-wide candidate list, and falls back to the full
+  §4 renegotiation only when the class target does not fit.
+
+The deterministic storm scenario that drives both lives in
+:mod:`repro.sim.storm` (``python -m repro storm``).
+"""
+
+from .controller import StormController, StormControllerStats
+from .gate import AdmissionGate, GatePolicy, GateStats, TokenBucket
+
+__all__ = [
+    "AdmissionGate",
+    "GatePolicy",
+    "GateStats",
+    "StormController",
+    "StormControllerStats",
+    "TokenBucket",
+]

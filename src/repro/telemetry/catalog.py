@@ -103,6 +103,19 @@ METRICS: "tuple[MetricSpec, ...]" = (
              "liveness signals (explicit heartbeats or playout progress)"),
     _counter("supervisor.releases", "sessions",
              "sessions released by the supervisor (stalled or dead)"),
+    # -- storm survival layer (repro.storm) -----------------------------------------
+    _counter("storm.gate.decisions", "requests",
+             "admission-gate verdicts on incoming negotiation/"
+             "renegotiation requests, by decision "
+             "(admitted/queued/shed)", "decision"),
+    _counter("storm.gate.retries", "requests",
+             "queued requests re-dispatched after their jittered "
+             "not-before time"),
+    _counter("storm.waves", "waves",
+             "renegotiation waves processed by the storm controller"),
+    _counter("storm.downgrades", "sessions",
+             "storm-controller downgrade attempts, by outcome "
+             "(in-place/fallback/failed)", "outcome"),
     # -- negotiation cache (repro.perf) ---------------------------------------------
     _counter("cache.hits", "lookups",
              "negotiation cache lookups served from memory, by store",
@@ -125,6 +138,9 @@ METRICS: "tuple[MetricSpec, ...]" = (
     # -- gauges ---------------------------------------------------------------------
     _gauge("sessions.active", "sessions",
            "playout sessions currently active"),
+    _gauge("storm.queue.depth", "requests",
+           "negotiation requests waiting in the admission gate's "
+           "bounded retry queue"),
     # -- histograms -----------------------------------------------------------------
     _histogram("negotiation.latency_s", "seconds",
                "end-to-end negotiation latency in simulated seconds",
@@ -135,6 +151,14 @@ METRICS: "tuple[MetricSpec, ...]" = (
     _histogram("negotiation.offers.classified", "offers",
                "feasible offers classified per negotiation",
                (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)),
+    _histogram("storm.wave.batch_size", "sessions",
+               "sessions re-reserved per capability-class batch in one "
+               "storm wave",
+               (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)),
+    _histogram("storm.retry.convergence_s", "seconds",
+               "simulated time from a request's first gate submission "
+               "to its terminal verdict",
+               (0.0, 1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0)),
 )
 
 CATALOG: "dict[str, MetricSpec]" = {spec.name: spec for spec in METRICS}

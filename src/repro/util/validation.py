@@ -14,6 +14,7 @@ from .errors import ValidationError
 __all__ = [
     "require",
     "check_range",
+    "check_at_least",
     "check_positive",
     "check_non_negative",
     "check_fraction",
@@ -52,6 +53,23 @@ def check_range(
         raise ValidationError(f"{what} must be an integer, got {value!r}")
     if not (lo <= value <= hi):
         raise ValidationError(f"{what} must be in [{lo}, {hi}], got {value!r}")
+    return int(value) if integer else value
+
+
+def check_at_least(
+    value: float, lo: float, what: str, *, integer: bool = False
+) -> float:
+    """Check ``value >= lo`` (finite; optionally integral).
+
+    The dedicated lower-bound check exists because a bare ``value < lo``
+    comparison silently passes NaN — ``NaN < lo`` is False — which is
+    exactly the hole it replaces.
+    """
+    value = _finite(value, what)
+    if integer and value != int(value):
+        raise ValidationError(f"{what} must be an integer, got {value!r}")
+    if value < lo:
+        raise ValidationError(f"{what} must be >= {lo:g}, got {value!r}")
     return int(value) if integer else value
 
 

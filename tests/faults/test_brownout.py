@@ -1,0 +1,118 @@
+"""The server-brownout fault: spec validation, parsing, injection."""
+
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    parse_fault_spec,
+)
+from repro.util.errors import ValidationError
+
+
+def make_injector(plan, servers, transport, clock):
+    injector = FaultInjector(plan, clock=clock)
+    injector.install(servers, transport)
+    return injector
+
+
+class TestBrownoutSpec:
+    def test_severity_must_be_fraction(self):
+        with pytest.raises(ValidationError):
+            FaultSpec(FaultKind.SERVER_BROWNOUT, "server-a", value=1.5)
+        with pytest.raises(ValidationError):
+            FaultSpec(FaultKind.SERVER_BROWNOUT, "server-a", value=-0.1)
+
+    def test_zero_severity_is_rejected(self):
+        # A 0% brownout silently arms a no-op fault; refuse it loudly.
+        # (No value at all is fine: the injector defaults to 0.5, the
+        # same convention LINK_FLAP uses for full outage.)
+        with pytest.raises(ValidationError):
+            FaultSpec(FaultKind.SERVER_BROWNOUT, "server-a", value=0.0)
+        FaultSpec(FaultKind.SERVER_BROWNOUT, "server-a")
+
+    def test_describe_mentions_kind_and_target(self):
+        text = FaultSpec(
+            FaultKind.SERVER_BROWNOUT, "server-a",
+            start_s=50.0, duration_s=60.0, value=0.4,
+        ).describe()
+        assert "server-brownout" in text
+        assert "server-a" in text
+
+    @pytest.mark.parametrize("alias", ["brownout", "server-brownout"])
+    def test_parse_aliases(self, alias):
+        spec = parse_fault_spec(f"{alias}:server-a:50:60:0.4")
+        assert spec.kind is FaultKind.SERVER_BROWNOUT
+        assert spec.target_id == "server-a"
+        assert spec.start_s == 50.0
+        assert spec.end_s == 110.0
+        assert spec.value == pytest.approx(0.4)
+
+    def test_parse_without_severity_defaults(self, servers, transport,
+                                             clock, loop):
+        spec = parse_fault_spec("brownout:server-a:1:10")
+        assert spec.value is None
+        injector = make_injector(FaultPlan((spec,)), servers, transport,
+                                 clock)
+        injector.arm(loop)
+        observed = {}
+        loop.at(
+            2.0,
+            lambda: observed.setdefault(
+                "during", servers["server-a"].degradation
+            ),
+        )
+        loop.run()
+        assert observed["during"] == pytest.approx(0.5)
+
+
+class TestBrownoutInjection:
+    def test_degrades_then_heals(self, servers, transport, clock, loop):
+        plan = FaultPlan(
+            (FaultSpec(FaultKind.SERVER_BROWNOUT, "server-a",
+                       start_s=2.0, duration_s=5.0, value=0.4),)
+        )
+        injector = make_injector(plan, servers, transport, clock)
+        injector.arm(loop)
+        server = servers["server-a"]
+        observed = {}
+        loop.at(3.0, lambda: observed.setdefault("during", server.degradation))
+        loop.at(8.0, lambda: observed.setdefault("after", server.degradation))
+        loop.run()
+        assert observed["during"] == pytest.approx(0.4)
+        assert observed["after"] == 0.0
+        assert injector.stats.brownouts == 1
+        assert injector.stats.brownout_heals == 1
+
+    def test_open_ended_brownout_never_heals(
+        self, servers, transport, clock, loop
+    ):
+        plan = FaultPlan(
+            (FaultSpec(FaultKind.SERVER_BROWNOUT, "server-a",
+                       start_s=1.0, value=0.25),)
+        )
+        injector = make_injector(plan, servers, transport, clock)
+        injector.arm(loop)
+        loop.run()
+        assert servers["server-a"].degradation == pytest.approx(0.25)
+        assert injector.stats.brownouts == 1
+        assert injector.stats.brownout_heals == 0
+
+    def test_browned_out_server_keeps_admitting_by_default(
+        self, servers, transport, clock, loop
+    ):
+        # Degradation only sheds *held* streams unless the deployment
+        # opts in to admission-budget shrinking (the storm scenario
+        # does; the adaptation experiments rely on the default).
+        plan = FaultPlan(
+            (FaultSpec(FaultKind.SERVER_BROWNOUT, "server-a",
+                       start_s=1.0, value=0.9),)
+        )
+        injector = make_injector(plan, servers, transport, clock)
+        injector.arm(loop)
+        loop.run()
+        server = servers["server-a"]
+        assert not server.degradation_limits_admission
+        assert server.can_admit(1_000_000.0)

@@ -1,0 +1,118 @@
+"""Property tests: RetryPolicy construction is total over garbage.
+
+A pathological policy (negative delays, NaN multipliers, zero attempt
+budgets) used to construct silently and poison every backoff
+computation downstream — NaN compares False against everything, so the
+bare ``<`` guards never fired.  These properties pin the contract: any
+parameter outside its documented domain raises ValidationError at
+construction, and every policy that *does* construct produces finite,
+bounded backoff delays.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import RetryPolicy
+from repro.util.errors import ValidationError
+from repro.util.rng import make_rng
+
+PATHOLOGICAL = (math.nan, math.inf, -math.inf, -1.0, -0.001)
+
+
+finite_delays = st.floats(
+    min_value=0.001, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def valid_policies(draw):
+    base = draw(finite_delays)
+    return RetryPolicy(
+        max_attempts=draw(st.integers(1, 12)),
+        base_delay_s=base,
+        max_delay_s=draw(
+            st.floats(
+                min_value=base, max_value=1000.0,
+                allow_nan=False, allow_infinity=False,
+            )
+        ),
+        multiplier=draw(
+            st.floats(
+                min_value=1.0, max_value=10.0,
+                allow_nan=False, allow_infinity=False,
+            )
+        ),
+        jitter=draw(
+            st.floats(
+                min_value=0.0, max_value=1.0,
+                allow_nan=False, allow_infinity=False,
+            )
+        ),
+    )
+
+
+class TestConstructionIsTotal:
+    @pytest.mark.parametrize("bad", PATHOLOGICAL)
+    @pytest.mark.parametrize(
+        "fieldname",
+        ["base_delay_s", "max_delay_s", "multiplier", "jitter",
+         "attempt_timeout_s", "deadline_s"],
+    )
+    def test_pathological_floats_rejected(self, fieldname, bad):
+        with pytest.raises(ValidationError):
+            RetryPolicy(**{fieldname: bad})
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_non_positive_attempts_rejected(self, bad):
+        with pytest.raises(ValidationError):
+            RetryPolicy(max_attempts=bad)
+
+    @settings(max_examples=60, deadline=None)
+    @given(multiplier=st.floats(max_value=1.0, exclude_max=True))
+    def test_sub_one_multiplier_rejected(self, multiplier):
+        # Includes NaN and -inf: any multiplier not >= 1 must raise.
+        with pytest.raises(ValidationError):
+            RetryPolicy(multiplier=multiplier)
+
+    @settings(max_examples=60, deadline=None)
+    @given(base=finite_delays, cap=finite_delays)
+    def test_cap_below_base_rejected(self, base, cap):
+        if cap >= base:
+            policy = RetryPolicy(base_delay_s=base, max_delay_s=cap)
+            assert policy.max_delay_s >= policy.base_delay_s
+        else:
+            with pytest.raises(ValidationError):
+                RetryPolicy(base_delay_s=base, max_delay_s=cap)
+
+
+class TestBackoffIsBounded:
+    @settings(max_examples=80, deadline=None)
+    @given(policy=valid_policies(), attempt=st.integers(1, 20),
+           seed=st.integers(0, 7))
+    def test_delay_finite_and_within_jittered_cap(
+        self, policy, attempt, seed
+    ):
+        delay = policy.backoff_delay(attempt, make_rng(seed))
+        assert math.isfinite(delay)
+        assert delay >= 0.0
+        # The cap holds even after jitter spreads the delay upward.
+        assert delay <= policy.max_delay_s * (1.0 + policy.jitter) + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(policy=valid_policies(), attempt=st.integers(1, 20),
+           seed=st.integers(0, 7))
+    def test_delay_is_deterministic_per_seed(self, policy, attempt, seed):
+        first = policy.backoff_delay(attempt, make_rng(seed))
+        second = policy.backoff_delay(attempt, make_rng(seed))
+        assert first == second
+
+    @settings(max_examples=40, deadline=None)
+    @given(policy=valid_policies(), attempt=st.integers(1, 19))
+    def test_unjittered_delays_are_monotone(self, policy, attempt):
+        assert (
+            policy.backoff_delay(attempt)
+            <= policy.backoff_delay(attempt + 1) + 1e-12
+        )

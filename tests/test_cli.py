@@ -108,6 +108,45 @@ class TestCommands:
         assert "unknown profile" in capsys.readouterr().err
 
 
+class TestStorm:
+    SMALL = ["storm", "--sessions", "60", "--late-requests", "12",
+             "--seed", "3"]
+
+    def test_storm_defaults(self):
+        args = build_parser().parse_args(["storm"])
+        assert args.sessions == 200
+        assert args.severity == pytest.approx(0.4)
+        assert not args.no_backpressure
+        assert not args.compare
+
+    def test_small_storm_runs_clean(self, capsys):
+        assert main(self.SMALL) == 0
+        out = capsys.readouterr().out
+        assert "storm run report" in out
+        assert "survived" in out
+
+    def test_json_emits_the_comparison(self, capsys):
+        import json
+
+        assert main(self.SMALL + ["--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["with_backpressure"]["backpressure"] is True
+        assert document["without_backpressure"]["backpressure"] is False
+        assert "demonstrates_thrash" in document
+
+    def test_bare_flag_conflicts_with_compare(self, capsys):
+        assert main(self.SMALL + ["--no-backpressure", "--json"]) == 2
+        assert "cannot be combined" in capsys.readouterr().err
+
+    def test_bad_severity_rejected(self, capsys):
+        assert main(["storm", "--severity", "0"]) == 2
+        assert "bad storm run" in capsys.readouterr().err
+
+    def test_unknown_profile(self, capsys):
+        assert main(["storm", "--profile", "ghost"]) == 2
+        assert "unknown profile" in capsys.readouterr().err
+
+
 class TestReport:
     def test_report_reads_tables(self, tmp_path, capsys):
         (tmp_path / "E01.txt").write_text("TABLE ONE\n")
