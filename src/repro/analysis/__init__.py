@@ -11,33 +11,51 @@ This package enforces those invariants mechanically:
   rule under :mod:`repro.analysis.rules` (REP001..REP011);
 * a per-file visitor pipeline (:mod:`repro.analysis.engine`) producing
   precise ``file:line`` findings with rule ids and fix hints;
+* a whole-program tier behind ``--deep`` (REP012..REP017): per-module
+  extraction (:mod:`repro.analysis.extract`), a project call graph with
+  Tarjan SCCs (:mod:`repro.analysis.callgraph`), bottom-up function
+  summaries (:mod:`repro.analysis.summaries`), per-function CFGs with
+  exception edges (:mod:`repro.analysis.cfg`), leak/journal dataflow
+  (:mod:`repro.analysis.dataflow`) and the interprocedural rules
+  themselves (:mod:`repro.analysis.deeprules`), orchestrated by
+  :class:`repro.analysis.deep.DeepLintEngine` with a content-hashed
+  per-module extract cache;
 * text/JSON reporters (:mod:`repro.analysis.report`);
 * an allowlist/baseline file (:mod:`repro.analysis.baseline`) for
   sanctioned exceptions, plus inline ``# reprolint: disable=REPnnn``
   pragmas;
 * a CLI entry point: ``python -m repro lint [paths]`` (nonzero exit on
-  findings) and ``python -m repro typecheck`` (strict mypy gate over the
-  typed core, skipped gracefully when mypy is not installed).
+  findings; ``--deep`` adds the whole-program rules, ``--changed``
+  restricts to the git diff) and ``python -m repro typecheck`` (strict
+  mypy gate over the typed core, skipped gracefully when mypy is not
+  installed).
 """
 
 from __future__ import annotations
 
 from .baseline import Baseline, BaselineEntry
 from .context import ModuleContext
+from .deep import DeepLintEngine, DeepLintReport
 from .engine import LintEngine, LintReport, iter_python_files
 from .findings import Finding
-from .registry import Rule, all_rules, get_rule
+from .gitdiff import changed_python_files
+from .registry import ProjectRule, Rule, all_deep_rules, all_rules, get_rule
 from .report import render_json, render_text
 
 __all__ = [
     "Baseline",
     "BaselineEntry",
+    "DeepLintEngine",
+    "DeepLintReport",
     "Finding",
     "LintEngine",
     "LintReport",
     "ModuleContext",
+    "ProjectRule",
     "Rule",
+    "all_deep_rules",
     "all_rules",
+    "changed_python_files",
     "get_rule",
     "iter_python_files",
     "render_json",

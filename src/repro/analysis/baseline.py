@@ -82,9 +82,10 @@ class Baseline:
         return cls(entries=entries, source_path=str(path))
 
     def match(self, finding: "Finding") -> "BaselineEntry | None":
-        entry = self.entries.get(finding.fingerprint)
-        if entry is not None and entry.rule_id == finding.rule_id:
-            return entry
+        for fingerprint in (finding.fingerprint, finding.legacy_fingerprint):
+            entry = self.entries.get(fingerprint)
+            if entry is not None and entry.rule_id == finding.rule_id:
+                return entry
         return None
 
     def unjustified(self) -> "list[BaselineEntry]":

@@ -18,8 +18,10 @@ from typing import Sequence
 
 from ..util.errors import ValidationError
 from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .deep import DEFAULT_CACHE_DIR, DeepLintEngine
 from .engine import LintEngine
-from .registry import all_rules
+from .gitdiff import changed_python_files
+from .registry import all_deep_rules, all_rules, deep_rule_ids
 from .report import render_json, render_text
 
 __all__ = [
@@ -70,25 +72,87 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-hints", action="store_true", help="omit fix hints from output",
     )
+    parser.add_argument(
+        "--deep", action="store_true",
+        help="run the whole-program rules (REP012+) over the project call "
+             "graph in addition to the per-file rules",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help=f"per-module extract cache for --deep "
+             f"(default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the --deep extract cache for this run",
+    )
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="lint only Python files changed vs --diff-base (plus "
+             "untracked files) instead of the given paths",
+    )
+    parser.add_argument(
+        "--diff-base", default="HEAD", metavar="REV",
+        help="revision --changed diffs against (default: HEAD)",
+    )
+
+
+def _split_rule_ids(values: Sequence[str]) -> list[str]:
+    """Flatten repeated ``--select``/``--ignore`` flags and comma lists."""
+    return [
+        part.strip()
+        for value in values
+        for part in value.split(",")
+        if part.strip()
+    ]
 
 
 def run_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         for rule in all_rules():
             print(f"{rule.rule_id}  {rule.name}: {rule.summary}")
+        for deep in all_deep_rules():
+            print(f"{deep.rule_id}  {deep.name}: {deep.summary} [--deep]")
         return 0
     try:
+        paths: "Sequence[str | Path]" = args.paths
+        if args.changed:
+            paths = changed_python_files(args.diff_base)
+            if not paths:
+                print("lint: no Python files changed vs "
+                      f"{args.diff_base}; nothing to check")
+                return 0
         baseline = (
             Baseline()
             if args.no_baseline or args.update_baseline
             else Baseline.load(args.baseline)
         )
-        engine = LintEngine(
-            select=args.select or None,
-            ignore=args.ignore or None,
-            baseline=baseline,
-        )
-        report = engine.run(args.paths)
+        select = _split_rule_ids(args.select)
+        ignore = _split_rule_ids(args.ignore)
+        engine: "LintEngine | DeepLintEngine"
+        if args.deep:
+            engine = DeepLintEngine(
+                select=select or None,
+                ignore=ignore or None,
+                baseline=baseline,
+                cache_dir=None if args.no_cache else args.cache_dir,
+            )
+        else:
+            asked_deep = sorted(
+                (set(select) | set(ignore)) & deep_rule_ids()
+            )
+            if asked_deep:
+                raise ValidationError(
+                    f"{', '.join(asked_deep)}: whole-program rule"
+                    f"{'s need' if len(asked_deep) != 1 else ' needs'} the "
+                    "project call graph; rerun with --deep"
+                )
+            engine = LintEngine(
+                select=select or None,
+                ignore=ignore or None,
+                baseline=baseline,
+            )
+        report = engine.run(paths)
     except ValidationError as error:
         print(f"lint: {error}", file=sys.stderr)
         return 2
@@ -109,6 +173,11 @@ def run_lint(args: argparse.Namespace) -> int:
         print(render_json(report))
     else:
         print(render_text(report, show_hints=not args.no_hints))
+        if args.deep:
+            print(
+                f"deep: {report.cold_files} cold, {report.warm_files} warm "
+                f"(cache {'off' if args.no_cache else args.cache_dir})"
+            )
     return report.exit_code()
 
 

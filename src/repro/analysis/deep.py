@@ -1,0 +1,217 @@
+"""The deep lint engine: per-file rules + whole-program rules, cached.
+
+``lint --deep`` is a superset of the plain engine: every per-file rule
+runs as usual, then the module extracts are assembled into a
+:class:`~repro.analysis.callgraph.Project` and the REP012+ whole-program
+rules run over the call graph.
+
+The expensive per-module work — parsing, CFG construction, event
+extraction, and the per-file rule findings — is cached on disk keyed by
+the file's content hash, so a warm re-run only re-executes the global
+fixpoint (which must always rerun: editing one module can change its
+*callers'* summaries).  Cache entries self-invalidate when the file
+changes or when the engine's extract format is bumped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from ..util.errors import ValidationError
+from .baseline import Baseline
+from .callgraph import Project, build_project
+from .context import ModuleContext
+from .engine import LintReport, iter_python_files
+from .extract import ModuleExtract, extract_module
+from .findings import Finding
+from .registry import all_deep_rules, all_rules, deep_rule_ids
+
+__all__ = ["DeepLintEngine", "DeepLintReport", "DEFAULT_CACHE_DIR"]
+
+DEFAULT_CACHE_DIR = ".reprolint_cache"
+
+# Bump when ModuleExtract / event semantics change: stale cache entries
+# from an older analyzer must re-extract, not deserialize garbage.
+_EXTRACT_VERSION = 1
+
+
+@dataclass(slots=True)
+class DeepLintReport(LintReport):
+    """LintReport plus cache effectiveness counters."""
+
+    cold_files: int = 0
+    warm_files: int = 0
+
+
+class DeepLintEngine:
+    """Run per-file and whole-program rules with per-module caching."""
+
+    def __init__(
+        self,
+        *,
+        select: "Sequence[str] | None" = None,
+        ignore: "Sequence[str] | None" = None,
+        baseline: "Baseline | None" = None,
+        cache_dir: "Path | str | None" = DEFAULT_CACHE_DIR,
+    ) -> None:
+        file_rules = all_rules()
+        project_rules = all_deep_rules()
+        known = {r.rule_id for r in file_rules} | {
+            r.rule_id for r in project_rules
+        }
+        for rule_id in list(select or []) + list(ignore or []):
+            if rule_id not in known:
+                raise ValidationError(f"unknown rule id {rule_id!r}")
+        active = set(known)
+        if select:
+            active &= set(select)
+        if ignore:
+            active -= set(ignore)
+        self.file_rules = [r for r in file_rules if r.rule_id in active]
+        self.project_rules = [
+            r for r in project_rules if r.rule_id in active
+        ]
+        self._active = active
+        self.baseline = baseline if baseline is not None else Baseline()
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+
+    # -- cache ---------------------------------------------------------------------
+
+    def _cache_path(self, path: Path) -> "Path | None":
+        if self.cache_dir is None:
+            return None
+        key = hashlib.sha256(
+            str(path.resolve()).encode("utf-8")
+        ).hexdigest()[:24]
+        return self.cache_dir / f"{key}.json"
+
+    def _cache_load(
+        self, path: Path, content_hash: str
+    ) -> "tuple[ModuleExtract, list[Finding]] | None":
+        cache_path = self._cache_path(path)
+        if cache_path is None or not cache_path.is_file():
+            return None
+        try:
+            entry = json.loads(cache_path.read_text(encoding="utf-8"))
+            if (
+                entry.get("version") != _EXTRACT_VERSION
+                or entry.get("hash") != content_hash
+            ):
+                return None
+            extract = ModuleExtract.from_dict(entry["extract"])
+            findings = [Finding.from_dict(raw) for raw in entry["findings"]]
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError):
+            return None  # corrupt/foreign entry: fall back to a cold pass
+        return extract, findings
+
+    def _cache_store(
+        self,
+        path: Path,
+        content_hash: str,
+        extract: ModuleExtract,
+        findings: "list[Finding]",
+    ) -> None:
+        cache_path = self._cache_path(path)
+        if cache_path is None:
+            return
+        try:
+            cache_path.parent.mkdir(parents=True, exist_ok=True)
+            cache_path.write_text(
+                json.dumps(
+                    {
+                        "version": _EXTRACT_VERSION,
+                        "hash": content_hash,
+                        "path": str(path),
+                        "extract": extract.to_dict(),
+                        "findings": [f.to_dict() for f in findings],
+                    }
+                ),
+                encoding="utf-8",
+            )
+        except OSError:
+            pass  # read-only checkout: run uncached
+
+    # -- run -----------------------------------------------------------------------
+
+    def run(self, paths: "Sequence[Path | str]") -> DeepLintReport:
+        report = DeepLintReport()
+        modules: "list[tuple[ModuleExtract, list[Finding]]]" = []
+        for path in iter_python_files(paths):
+            try:
+                source = path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as error:
+                report.errors.append(str(error))
+                continue
+            content_hash = hashlib.sha256(
+                source.encode("utf-8")
+            ).hexdigest()
+            cached = self._cache_load(path, content_hash)
+            if cached is not None:
+                report.warm_files += 1
+                report.files_checked += 1
+                modules.append(cached)
+                continue
+            try:
+                ctx = ModuleContext.from_path(path)
+            except (ValidationError, OSError, UnicodeDecodeError) as error:
+                report.errors.append(str(error))
+                continue
+            # Cache stores *every* per-file rule's findings so one cache
+            # serves any --select/--ignore combination.
+            raw_findings: "list[Finding]" = []
+            for rule in all_rules():
+                raw_findings.extend(rule.run(ctx))
+            extract = extract_module(ctx)
+            self._cache_store(path, content_hash, extract, raw_findings)
+            report.cold_files += 1
+            report.files_checked += 1
+            modules.append((extract, raw_findings))
+
+        extract_by_path = {extract.path: extract for extract, _ in modules}
+
+        def admit(finding: Finding, extract: "ModuleExtract | None") -> None:
+            if extract is not None and extract.suppressed(
+                finding.rule_id, finding.line
+            ):
+                report.suppressed += 1
+            elif self.baseline.match(finding) is not None:
+                report.baselined += 1
+            else:
+                report.findings.append(finding)
+
+        active_file_rules = {r.rule_id for r in self.file_rules}
+        for extract, raw_findings in modules:
+            for finding in raw_findings:
+                if finding.rule_id in active_file_rules:
+                    admit(finding, extract)
+
+        # The whole-program fixpoint always reruns: a change in one
+        # module can alter its callers' summaries project-wide.
+        project = build_project(extract for extract, _ in modules)
+        for project_rule in self.project_rules:
+            for finding in project_rule.run(project):
+                admit(finding, extract_by_path.get(finding.path))
+
+        report.findings.sort(key=Finding.sort_key)
+        report.unjustified_baseline = [
+            f"{entry.path}: baseline entry {entry.fingerprint} "
+            f"({entry.rule_id}) has no justification"
+            for entry in self.baseline.unjustified()
+        ]
+        return report
+
+    def build_project(self, paths: "Sequence[Path | str]") -> Project:
+        """Project view only (no rule run) — used by tests/tools."""
+        extracts: "list[ModuleExtract]" = []
+        for path in iter_python_files(paths):
+            ctx = ModuleContext.from_path(path)
+            extracts.append(extract_module(ctx))
+        return build_project(extracts)
+
+
+def is_deep_rule_id(rule_id: str) -> bool:
+    return rule_id in deep_rule_ids()

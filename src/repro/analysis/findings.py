@@ -2,15 +2,22 @@
 
 A finding pins a rule violation to a ``file:line`` location, carries the
 human-facing message and fix hint, and exposes a *fingerprint* — a
-stable hash of (rule id, file name, offending source text) used by the
+stable hash of (rule id, file name, code-context hash) used by the
 baseline so sanctioned findings survive unrelated edits that only move
-line numbers.
+line numbers.  The code context is the offending source text anchored
+to the qualified name of its enclosing function/class, so two identical
+lines in different functions baseline independently, while inserting or
+editing code *above* a sanctioned finding never invalidates its entry.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+
+
+def _digest(*parts: str) -> str:
+    return hashlib.sha256("\x00".join(parts).encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass(frozen=True, slots=True)
@@ -24,23 +31,39 @@ class Finding:
     message: str
     hint: str = ""
     source_line: str = field(default="", compare=False)
+    context: str = field(default="", compare=False)  # enclosing def/class qualname
 
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.column}"
+
+    @property
+    def _basename(self) -> str:
+        return self.path.replace("\\", "/").rsplit("/", 1)[-1]
 
     @property
     def fingerprint(self) -> str:
         """Stable identity for baseline matching.
 
         Deliberately excludes the line *number* (entries must survive
-        edits elsewhere in the file) but includes the stripped source
-        text, so the baseline entry dies with the code it sanctioned.
+        edits elsewhere in the file) but includes the code-context hash
+        — enclosing scope qualname plus stripped source text — so the
+        baseline entry dies with the code it sanctioned and never
+        cross-matches an identical line in a different function.
         """
-        basename = self.path.replace("\\", "/").rsplit("/", 1)[-1]
-        material = "\x00".join(
-            (self.rule_id, basename, self.source_line.strip())
+        return _digest(
+            self.rule_id,
+            self._basename,
+            _digest(self.context, self.source_line.strip()),
         )
-        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+    @property
+    def legacy_fingerprint(self) -> str:
+        """Pre-context fingerprint (rule, basename, source text only).
+
+        Kept so baselines written before the code-context hash existed
+        keep matching; the baseline tries this after :attr:`fingerprint`.
+        """
+        return _digest(self.rule_id, self._basename, self.source_line.strip())
 
     def sort_key(self) -> tuple[str, int, int, str]:
         return (self.path, self.line, self.column, self.rule_id)
@@ -53,5 +76,21 @@ class Finding:
             "column": self.column,
             "message": self.message,
             "hint": self.hint,
+            "source_line": self.source_line,
+            "context": self.context,
             "fingerprint": self.fingerprint,
         }
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, object]) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output (cache replay)."""
+        return cls(
+            rule_id=str(raw["rule"]),
+            path=str(raw["path"]),
+            line=int(raw["line"]),  # type: ignore[arg-type]
+            column=int(raw["column"]),  # type: ignore[arg-type]
+            message=str(raw["message"]),
+            hint=str(raw.get("hint", "")),
+            source_line=str(raw.get("source_line", "")),
+            context=str(raw.get("context", "")),
+        )

@@ -1,0 +1,63 @@
+"""Git-diff-scoped lint target selection (``lint --changed``).
+
+Resolves the set of Python files that differ from a base revision
+(default ``HEAD``), plus untracked files, so pre-commit runs lint only
+what the change touched.  All git access goes through :func:`_git_lines`
+so tests can fake the diff without a repository.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import Sequence
+
+from ..util.errors import ValidationError
+
+__all__ = ["changed_python_files"]
+
+
+def _git_lines(args: "Sequence[str]", cwd: "Path | None" = None) -> "list[str]":
+    """Run ``git <args>`` and return stdout lines (test seam)."""
+    try:
+        completed = subprocess.run(  # noqa: S603 - fixed argv, no shell
+            ["git", *args],
+            capture_output=True,
+            text=True,
+            check=False,
+            cwd=cwd,
+        )
+    except OSError as error:
+        raise ValidationError(f"git not runnable: {error}") from error
+    if completed.returncode != 0:
+        detail = completed.stderr.strip() or f"exit {completed.returncode}"
+        raise ValidationError(f"git {' '.join(args)}: {detail}")
+    return [line for line in completed.stdout.splitlines() if line.strip()]
+
+
+def changed_python_files(
+    base: str = "HEAD", *, root: "Path | None" = None
+) -> "list[Path]":
+    """Python files changed vs ``base``, plus untracked ones.
+
+    Deleted files are excluded (nothing left to lint), paths are
+    de-duplicated and only those that still exist are returned, so the
+    list can be handed straight to the engine.
+    """
+    names = _git_lines(
+        ["diff", "--name-only", "--diff-filter=d", base, "--"], cwd=root
+    )
+    names += _git_lines(
+        ["ls-files", "--others", "--exclude-standard"], cwd=root
+    )
+    anchor = root if root is not None else Path(".")
+    selected: "list[Path]" = []
+    seen: "set[str]" = set()
+    for name in names:
+        if not name.endswith(".py") or name in seen:
+            continue
+        seen.add(name)
+        candidate = anchor / name
+        if candidate.is_file():
+            selected.append(candidate)
+    return sorted(selected)

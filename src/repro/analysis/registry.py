@@ -1,9 +1,14 @@
 """Rule registry.
 
-Each rule is a function ``(ModuleContext) -> Iterable[Finding]``
+Each per-file rule is a function ``(ModuleContext) -> Iterable[Finding]``
 registered under a stable id via the :func:`rule` decorator.  The
 decorator records the rule's summary and fix hint so reporters and
 ``lint --list-rules`` render them without importing anything else.
+
+*Deep* rules (REP012+) see the whole program at once: they are
+``(Project) -> Iterable[Finding]`` functions registered via
+:func:`deep_rule` and run only under ``lint --deep`` (they need the
+project-wide call graph and resource summaries, not one file's AST).
 """
 
 from __future__ import annotations
@@ -14,12 +19,23 @@ from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 from ..util.errors import ValidationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .callgraph import Project
     from .context import ModuleContext
     from .findings import Finding
 
-__all__ = ["Rule", "rule", "all_rules", "get_rule", "make_finding"]
+__all__ = [
+    "Rule",
+    "ProjectRule",
+    "rule",
+    "deep_rule",
+    "all_rules",
+    "all_deep_rules",
+    "get_rule",
+    "make_finding",
+]
 
 CheckFn = Callable[["ModuleContext"], Iterable["Finding"]]
+DeepCheckFn = Callable[["Project"], Iterable["Finding"]]
 
 
 @dataclass(frozen=True, slots=True)
@@ -36,14 +52,29 @@ class Rule:
         return list(self.check(ctx))
 
 
+@dataclass(frozen=True, slots=True)
+class ProjectRule:
+    """One registered whole-program invariant check (``lint --deep``)."""
+
+    rule_id: str
+    name: str
+    summary: str
+    hint: str
+    check: DeepCheckFn
+
+    def run(self, project: "Project") -> "list[Finding]":
+        return list(self.check(project))
+
+
 _REGISTRY: "dict[str, Rule]" = {}
+_DEEP_REGISTRY: "dict[str, ProjectRule]" = {}
 
 
 def rule(rule_id: str, name: str, summary: str, hint: str) -> "Callable[[CheckFn], CheckFn]":
     """Register ``check`` under ``rule_id``; returns it unchanged."""
 
     def decorate(check: CheckFn) -> CheckFn:
-        if rule_id in _REGISTRY:
+        if rule_id in _REGISTRY or rule_id in _DEEP_REGISTRY:
             raise ValidationError(f"duplicate rule id {rule_id!r}")
         _REGISTRY[rule_id] = Rule(
             rule_id=rule_id, name=name, summary=summary, hint=hint, check=check
@@ -53,8 +84,24 @@ def rule(rule_id: str, name: str, summary: str, hint: str) -> "Callable[[CheckFn
     return decorate
 
 
+def deep_rule(
+    rule_id: str, name: str, summary: str, hint: str
+) -> "Callable[[DeepCheckFn], DeepCheckFn]":
+    """Register a whole-program rule under ``rule_id``."""
+
+    def decorate(check: DeepCheckFn) -> DeepCheckFn:
+        if rule_id in _REGISTRY or rule_id in _DEEP_REGISTRY:
+            raise ValidationError(f"duplicate rule id {rule_id!r}")
+        _DEEP_REGISTRY[rule_id] = ProjectRule(
+            rule_id=rule_id, name=name, summary=summary, hint=hint, check=check
+        )
+        return check
+
+    return decorate
+
+
 def _ensure_loaded() -> None:
-    from . import rules  # noqa: F401  (importing registers the built-ins)
+    from . import deeprules, rules  # noqa: F401  (importing registers the built-ins)
 
 
 def all_rules() -> "list[Rule]":
@@ -62,12 +109,24 @@ def all_rules() -> "list[Rule]":
     return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
 
 
-def get_rule(rule_id: str) -> Rule:
+def all_deep_rules() -> "list[ProjectRule]":
     _ensure_loaded()
-    try:
-        return _REGISTRY[rule_id]
-    except KeyError:
-        raise ValidationError(f"unknown rule id {rule_id!r}") from None
+    return [_DEEP_REGISTRY[rule_id] for rule_id in sorted(_DEEP_REGISTRY)]
+
+
+def deep_rule_ids() -> "frozenset[str]":
+    _ensure_loaded()
+    return frozenset(_DEEP_REGISTRY)
+
+
+def get_rule(rule_id: str) -> "Rule | ProjectRule":
+    _ensure_loaded()
+    found: "Rule | ProjectRule | None" = _REGISTRY.get(
+        rule_id
+    ) or _DEEP_REGISTRY.get(rule_id)
+    if found is None:
+        raise ValidationError(f"unknown rule id {rule_id!r}")
+    return found
 
 
 def make_finding(
@@ -82,6 +141,8 @@ def make_finding(
 
     _ensure_loaded()
     registered = _REGISTRY.get(rule_id)
+    if registered is None:
+        registered = _DEEP_REGISTRY.get(rule_id)
     return Finding(
         rule_id=rule_id,
         path=ctx.path,
@@ -90,4 +151,5 @@ def make_finding(
         message=message,
         hint=registered.hint if registered is not None else "",
         source_line=ctx.line_text(line),
+        context=ctx.scope_at(line),
     )

@@ -50,4 +50,8 @@ def render_json(report: "LintReport") -> str:
         "baselined": report.baselined,
         "clean": report.clean,
     }
+    cold = getattr(report, "cold_files", None)
+    if cold is not None:  # deep runs also report cache effectiveness
+        payload["cold_files"] = cold
+        payload["warm_files"] = getattr(report, "warm_files", 0)
     return json.dumps(payload, indent=2)

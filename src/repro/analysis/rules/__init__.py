@@ -16,6 +16,12 @@ REP009    typed core: full annotations in core/faults/analysis
 REP010    journaled transition: no unlogged commitment state flips
 REP011    no naked timing; metric names registered in the catalog
 ========  ==========================================================
+
+The whole-program rules (REP012..REP017 — interprocedural leak paths,
+exception-path leaks, journal-before-flip dataflow, module-global
+mutation, blocking calls reachable from async code, foreign ledger
+writes) live in :mod:`repro.analysis.deeprules` and only run under
+``python -m repro lint --deep``.
 """
 
 from __future__ import annotations

@@ -24,8 +24,10 @@ Subcommands exercising the library from a shell:
 * ``experiments`` — list the E-series experiment index;
 * ``bench`` — run the negotiation throughput benchmark (streaming vs
   full sort, cache on/off) and write ``BENCH_negotiation.json``;
-* ``lint`` — run the reprolint project-invariant checks (REP001..REP011),
-  exiting nonzero on findings;
+* ``lint`` — run the reprolint project-invariant checks (REP001..REP011;
+  ``--deep`` adds the whole-program resource-flow rules REP012..REP017
+  with a content-hashed extract cache, ``--changed`` restricts the run
+  to the files touched in the git diff), exiting nonzero on findings;
 * ``typecheck`` — run the strict mypy gate over the typed core
   (skipped gracefully when mypy is not installed).
 

@@ -265,14 +265,20 @@ class ResourceCommitter:
                     )
                 )
         except COMMIT_FAILURES as error:
-            self.telemetry.count("commitment.rollbacks")
-            self.telemetry.annotate(refusal=type(error).__name__)
-            self.journal_event(
-                JournalRecordType.RELEASED,
-                holder,
-                {"offer_id": offer.offer_id, "reason": "commit-failed"},
-            )
-            self._rollback(streams, flows)
+            # The journal write itself is fallible (brownout faults can
+            # fail JOURNAL_WRITE), so the rollback must not depend on it
+            # completing: whatever happens in the bookkeeping, everything
+            # already admitted is released before control leaves.
+            try:
+                self.telemetry.count("commitment.rollbacks")
+                self.telemetry.annotate(refusal=type(error).__name__)
+                self.journal_event(
+                    JournalRecordType.RELEASED,
+                    holder,
+                    {"offer_id": offer.offer_id, "reason": "commit-failed"},
+                )
+            finally:
+                self._rollback(streams, flows)
             return None
         bundle = ReservationBundle(
             offer=offer,

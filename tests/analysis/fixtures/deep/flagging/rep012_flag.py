@@ -1,0 +1,17 @@
+"""REP012: the reservation escapes `reserve` and is never released.
+
+Per-file REP002 cannot see this — the acquiring call in the driver is a
+bare name, and the helper is an exempt leaf primitive — but following
+`returns_acquisition` across the call edge makes the leak visible.
+"""
+
+
+def reserve(server, spec):
+    return server.admit(spec)
+
+
+def run_presentation(server, spec):
+    stream = reserve(server, spec)
+    if stream is None:
+        return False
+    return True

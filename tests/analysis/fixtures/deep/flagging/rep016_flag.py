@@ -1,0 +1,13 @@
+"""REP016: a blocking fsync is reachable from the async drive loop."""
+
+import os
+
+
+def persist(fd):
+    os.fsync(fd)
+
+
+async def drive(session, fd):
+    await session.open()
+    persist(fd)
+    return True

@@ -1,0 +1,9 @@
+"""REP017: poking the server's reservation ledger from outside its seam."""
+
+
+def hijack(server, stream_id, stream):
+    server._streams[stream_id] = stream
+
+
+def evict(server, stream_id):
+    server._streams.pop(stream_id, None)

@@ -1,0 +1,22 @@
+"""REP014: the journal write only happens on one branch before the flip.
+
+Per-file REP010 is satisfied — the function *contains* a journal call —
+but the urgent path reaches the state assignment without one, which is
+exactly the crash window the dataflow version exists to catch.
+"""
+
+
+class CommitmentState:
+    PREPARED = "prepared"
+    COMMITTED = "committed"
+
+
+class Commitment:
+    def __init__(self, journal):
+        self._journal = journal
+        self.state = None
+
+    def commit(self, urgent):
+        if not urgent:
+            self._journal.journal_event("commit")
+        self.state = CommitmentState.COMMITTED

@@ -1,0 +1,8 @@
+"""REP015: module-level dict mutated from a negotiation-path function."""
+
+_ACTIVE_SESSIONS = {}
+
+
+def register(session_id, session):
+    _ACTIVE_SESSIONS[session_id] = session
+    return len(_ACTIVE_SESSIONS)

@@ -1,0 +1,12 @@
+"""The same cross-function acquisition, released on the normal path."""
+
+
+def reserve(server, spec):
+    return server.admit(spec)
+
+
+def run_presentation(server, spec):
+    stream = reserve(server, spec)
+    stream.play()
+    server.release(stream)
+    return True

@@ -1,0 +1,17 @@
+"""The fallible step is guarded: the handler rolls back, then re-raises."""
+
+
+def validate(spec):
+    if spec.rate <= 0:
+        raise ValueError("unusable rate")
+
+
+def run(server, spec):
+    stream = server.admit(spec)
+    try:
+        validate(spec)
+    except ValueError:
+        server.rollback(stream)
+        raise
+    server.release(stream)
+    return True

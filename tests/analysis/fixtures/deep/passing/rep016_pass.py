@@ -1,0 +1,16 @@
+"""Blocking I/O stays on sync paths the event loop never calls."""
+
+import os
+
+
+def flush(fd):
+    os.fsync(fd)
+
+
+def snapshot(clock):
+    return clock.now()
+
+
+async def drive(session):
+    await session.open()
+    return snapshot(session.clock)

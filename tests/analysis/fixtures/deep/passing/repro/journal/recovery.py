@@ -1,0 +1,5 @@
+"""The recovery seam may repair the server's ledger directly."""
+
+
+def reinstate(server, stream_id, stream):
+    server._streams[stream_id] = stream

@@ -1,0 +1,16 @@
+"""The journal write dominates the flip on every path."""
+
+
+class CommitmentState:
+    PREPARED = "prepared"
+    COMMITTED = "committed"
+
+
+class Commitment:
+    def __init__(self, journal):
+        self._journal = journal
+        self.state = None
+
+    def commit(self):
+        self._journal.journal_event("commit")
+        self.state = CommitmentState.COMMITTED

@@ -1,0 +1,10 @@
+"""Session-scoped state lives on an object, not at module level."""
+
+
+class SessionRegistry:
+    def __init__(self):
+        self._sessions = {}
+
+    def register(self, session_id, session):
+        self._sessions[session_id] = session
+        return len(self._sessions)

@@ -1,0 +1,1 @@
+"""Fixture package: a cross-module reservation leak only --deep can see."""

@@ -1,0 +1,17 @@
+"""Forgets to release what the pool admitted.
+
+Invisible to per-file REP002: the acquiring call below is a bare name
+(no ``.admit`` attribute syntax in this file), and the pool primitive
+itself is an exempt single-acquisition leaf.  Only the whole-program
+engine, which knows ``pool.admit`` returns an acquisition, can tell the
+driver leaks it.
+"""
+
+from .pool import admit
+
+
+def run_session(server, spec):
+    stream = admit(server, spec)
+    if stream is None:
+        return False
+    return True

@@ -1,0 +1,5 @@
+"""Leaf admission primitive — the caller inherits the release duty."""
+
+
+def admit(server, spec):
+    return server.admit(spec)

@@ -1,0 +1,12 @@
+"""Header pragmas never cover the body: this still flags REP001."""
+
+import time
+
+
+def decorate(fn):
+    return fn
+
+
+@decorate  # reprolint: disable=REP001
+def stamp():
+    return time.time()

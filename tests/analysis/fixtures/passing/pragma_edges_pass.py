@@ -1,0 +1,10 @@
+WIDTH = 1920  # reprolint: disable=REP007 -- first physical line of the file
+
+import time
+
+
+def stamp(record):
+    record.update(  # reprolint: disable=REP001 -- fixture: multi-line statement
+        stamped_at=time.time(),
+    )
+    return record

@@ -1,0 +1,10 @@
+"""A pragma on the decorator line covers the whole def header."""
+
+
+def decorate(fn: object) -> object:
+    return fn
+
+
+@decorate  # reprolint: disable=REP009 -- fixture: decorated header
+def untyped(a, b):
+    return a

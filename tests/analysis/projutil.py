@@ -1,0 +1,19 @@
+"""Shared helper: build an in-memory Project from {module: source}."""
+
+from repro.analysis.callgraph import build_project
+from repro.analysis.context import ModuleContext
+from repro.analysis.extract import extract_module
+
+
+def project_from(sources):
+    """Build a :class:`Project` from ``{dotted_module: source}`` pairs.
+
+    Paths are synthesized from the module names so path-based scoping
+    (``repro/session/...``) behaves exactly like an on-disk tree.
+    """
+    extracts = []
+    for module, source in sources.items():
+        path = module.replace(".", "/") + ".py"
+        ctx = ModuleContext.from_source(source, path=path, module=module)
+        extracts.append(extract_module(ctx))
+    return build_project(extracts)

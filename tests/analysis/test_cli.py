@@ -44,6 +44,16 @@ class TestLintCommand:
         assert code == 1
         assert "REP005" in out and "REP001" not in out
 
+    def test_select_accepts_comma_separated_rule_lists(self, capsys):
+        code = main([
+            "lint", str(FIXTURES / "flagging"), "--no-baseline",
+            "--select", "REP005,REP001",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REP005" in out and "REP001" in out
+        assert "REP009" not in out
+
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out

@@ -1,0 +1,132 @@
+"""Every whole-program rule has a flagging and a passing fixture.
+
+Mirrors ``test_rules.py`` for the REP012+ rules, plus the headline
+demonstration: a cross-function leak that the per-file REP002 rule
+provably cannot see but the interprocedural engine reports.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.analysis import LintEngine
+from repro.analysis.deep import DeepLintEngine
+from repro.analysis.registry import all_deep_rules, deep_rule_ids
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+DEEP_RULE_FIXTURES = {
+    "REP012": (
+        "deep/flagging/rep012_flag.py",
+        "deep/passing/rep012_pass.py",
+    ),
+    "REP013": (
+        "deep/flagging/rep013_flag.py",
+        "deep/passing/rep013_pass.py",
+    ),
+    "REP014": (
+        "deep/flagging/repro/session/rep014_flag.py",
+        "deep/passing/repro/session/rep014_pass.py",
+    ),
+    "REP015": (
+        "deep/flagging/repro/session/rep015_flag.py",
+        "deep/passing/repro/session/rep015_pass.py",
+    ),
+    "REP016": (
+        "deep/flagging/rep016_flag.py",
+        "deep/passing/rep016_pass.py",
+    ),
+    "REP017": (
+        "deep/flagging/rep017_flag.py",
+        "deep/passing/repro/journal/recovery.py",
+    ),
+}
+
+
+def deep_findings_for(rule_id, fixture):
+    engine = DeepLintEngine(select=[rule_id], cache_dir=None)
+    return engine.run([FIXTURES / fixture]).findings
+
+
+class TestDeepFixturePairs:
+    def test_every_deep_rule_has_a_fixture_pair(self):
+        assert sorted(DEEP_RULE_FIXTURES) == [
+            r.rule_id for r in all_deep_rules()
+        ]
+
+    @pytest.mark.parametrize("rule_id", sorted(DEEP_RULE_FIXTURES))
+    def test_flagging_fixture_flags(self, rule_id):
+        flag, _ = DEEP_RULE_FIXTURES[rule_id]
+        findings = deep_findings_for(rule_id, flag)
+        assert findings, f"{flag} produced no {rule_id} findings"
+        assert all(f.rule_id == rule_id for f in findings)
+        assert all(f.line > 0 and f.hint for f in findings)
+
+    @pytest.mark.parametrize("rule_id", sorted(DEEP_RULE_FIXTURES))
+    def test_passing_fixture_is_clean(self, rule_id):
+        _, ok = DEEP_RULE_FIXTURES[rule_id]
+        assert deep_findings_for(rule_id, ok) == []
+
+    def test_passing_tree_is_clean_under_every_deep_rule(self):
+        engine = DeepLintEngine(
+            select=sorted(deep_rule_ids()), cache_dir=None
+        )
+        report = engine.run([FIXTURES / "deep" / "passing"])
+        assert report.findings == []
+        assert report.errors == []
+
+
+class TestCrossFunctionLeak:
+    """The deeppkg fixture: REP002 misses it, REP012 catches it."""
+
+    def test_per_file_pairing_rule_provably_misses_the_leak(self):
+        report = LintEngine(select=["REP002"]).run([FIXTURES / "deeppkg"])
+        assert report.findings == []
+
+    def test_interprocedural_engine_reports_it(self):
+        engine = DeepLintEngine(select=["REP012"], cache_dir=None)
+        report = engine.run([FIXTURES / "deeppkg"])
+        assert [f.rule_id for f in report.findings] == ["REP012"]
+        (finding,) = report.findings
+        assert finding.path.endswith("driver.py")
+        assert "stream" in finding.message
+        assert finding.context == "run_session"
+
+    def test_whole_program_findings_carry_fingerprint_context(self):
+        engine = DeepLintEngine(select=["REP012"], cache_dir=None)
+        (finding,) = engine.run([FIXTURES / "deeppkg"]).findings
+        assert finding.source_line.strip().startswith("stream =")
+        assert finding.fingerprint
+
+
+class TestDeepSuppression:
+    def test_inline_pragma_silences_a_deep_finding(self, tmp_path):
+        source = (FIXTURES / "deep/flagging/rep012_flag.py").read_text()
+        source = source.replace(
+            "stream = reserve(server, spec)",
+            "stream = reserve(server, spec)  # reprolint: disable=REP012",
+        )
+        target = tmp_path / "suppressed.py"
+        target.write_text(source)
+        engine = DeepLintEngine(select=["REP012"], cache_dir=None)
+        report = engine.run([target])
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_baseline_matches_deep_findings(self, tmp_path):
+        from repro.analysis import Baseline
+
+        target = tmp_path / "leak.py"
+        target.write_text(
+            (FIXTURES / "deep/flagging/rep012_flag.py").read_text()
+        )
+        first = DeepLintEngine(select=["REP012"], cache_dir=None).run(
+            [target]
+        )
+        baseline = Baseline.from_findings(first.findings)
+        engine = DeepLintEngine(
+            select=["REP012"], baseline=baseline, cache_dir=None
+        )
+        report = engine.run([target])
+        assert report.findings == []
+        assert report.baselined == 1

@@ -1,0 +1,26 @@
+"""The repo must also deep-lint clean: the whole-program rules find no
+reservation leaks, unjournaled flips, or concurrency hazards in
+``src/repro`` — with an *empty* deep baseline.
+"""
+
+import pathlib
+
+from repro.analysis import Baseline
+from repro.analysis.deep import DeepLintEngine
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+class TestDeepSelfLint:
+    def test_src_is_clean_under_the_whole_program_rules(self):
+        baseline = Baseline.load(REPO_ROOT / ".reprolint.json")
+        engine = DeepLintEngine(baseline=baseline, cache_dir=None)
+        report = engine.run([REPO_ROOT / "src"])
+        formatted = "\n".join(
+            f"{f.location()}: {f.rule_id} {f.message}"
+            for f in report.findings
+        )
+        assert report.findings == [], f"deep lint findings:\n{formatted}"
+        assert report.errors == []
+        assert report.unjustified_baseline == []
+        assert report.files_checked > 90

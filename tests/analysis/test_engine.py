@@ -101,6 +101,47 @@ class TestBaseline:
             Baseline.load(bad)
 
 
+class TestContextFingerprints:
+    def test_identical_lines_in_different_functions_differ(self, tmp_path):
+        path = tmp_path / "wall.py"
+        path.write_text(
+            "import time\n"
+            "\n"
+            "\n"
+            "def first():\n"
+            "    return time.time()\n"
+            "\n"
+            "\n"
+            "def second():\n"
+            "    return time.time()\n"
+        )
+        report = LintEngine(select=["REP001"]).run([path])
+        assert len(report.findings) == 2
+        fingerprints = {f.fingerprint for f in report.findings}
+        assert len(fingerprints) == 2  # context qualname splits them
+
+    def test_pre_context_baseline_entries_keep_matching(self, tmp_path):
+        from repro.analysis.baseline import BaselineEntry
+
+        path = tmp_path / "wall.py"
+        path.write_text(FLAGGING_SNIPPET)
+        (finding,) = LintEngine(select=["REP001"]).run([path]).findings
+        legacy = Baseline(
+            entries={
+                finding.legacy_fingerprint: BaselineEntry(
+                    rule_id="REP001",
+                    fingerprint=finding.legacy_fingerprint,
+                    path=finding.path,
+                    justification="entry written before context hashing",
+                )
+            }
+        )
+        assert legacy.match(finding) is not None
+        report = LintEngine(select=["REP001"], baseline=legacy).run([path])
+        assert report.findings == []
+        assert report.baselined == 1
+
+
 class TestReporters:
     def _report(self, tmp_path):
         path = tmp_path / "wall.py"
