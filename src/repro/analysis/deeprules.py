@@ -14,8 +14,8 @@ REP014    a commitment state flip is not dominated by a journal
           write on every path (dataflow REP010)
 REP015    module-level mutable state is mutated on a negotiation
           path (breaks concurrent sessions)
-REP016    a blocking call is reachable from an async function
-          (stalls the event loop)
+REP016    a blocking call is reachable from an async function or a
+          cooperative-scheduler task (stalls the event loop)
 REP017    a reservation ledger is mutated outside its owning seam
 ========  ======================================================
 
@@ -56,6 +56,16 @@ NEGOTIATION_ROOT_MODULES = (
 NEGOTIATION_ROOT_PACKAGES = (
     ("repro", "session"),
     ("repro", "storm"),
+    ("repro", "service"),
+)
+
+# Packages whose functions run *inside* the cooperative scheduler's
+# event loop (generator tasks resumed by repro.service, not
+# ``async def``).  A blocking call there stalls every in-flight
+# negotiation exactly like one inside an async function, so REP016
+# roots its reachability walk at each of these functions too.
+COOPERATIVE_ROOT_PACKAGES = (
+    ("repro", "service"),
 )
 
 
@@ -265,20 +275,33 @@ _REP016_HINT = (
 @deep_rule(
     "REP016",
     "blocking-in-event-loop",
-    "a blocking call is reachable from an async (event-loop) function",
+    "a blocking call is reachable from an async (event-loop) function "
+    "or a cooperative-scheduler task",
     _REP016_HINT,
 )
 def check_rep016(project: Project) -> "Iterable[Finding]":
-    async_roots = [
+    async_roots = {
         func.ref for func in project.iter_functions() if func.is_async
-    ]
-    if not async_roots:
-        return
-    root_names = {
-        ref: project.functions[ref].qualname for ref in async_roots
     }
+    coop_roots: "set[str]" = set()
+    for func in project.iter_functions():
+        extract = project.modules.get(func.path)
+        if extract is None:
+            continue
+        if any(
+            _in_package(extract, segments)
+            for segments in COOPERATIVE_ROOT_PACKAGES
+        ):
+            coop_roots.add(func.ref)
+    roots = async_roots | coop_roots
+    if not roots:
+        return
+    root_names = {ref: project.functions[ref].qualname for ref in roots}
     seen: "set[tuple[str, int, int]]" = set()
-    for root in sorted(async_roots):
+    for root in sorted(roots):
+        root_kind = (
+            "async" if root in async_roots else "cooperative task"
+        )
         for ref in sorted(project.reachable_from([root])):
             func = project.functions[ref]
             extract = project.modules.get(func.path)
@@ -298,8 +321,8 @@ def check_rep016(project: Project) -> "Iterable[Finding]":
                 )
                 yield _finding(
                     project, extract, "REP016", event.line, event.col,
-                    f"blocking call {event.name}() is reachable from async "
-                    f"{root_names[root]} {via}",
+                    f"blocking call {event.name}() is reachable from "
+                    f"{root_kind} {root_names[root]} {via}",
                     _REP016_HINT,
                 )
 

@@ -21,6 +21,11 @@ Subcommands exercising the library from a shell:
   concurrent playouts and report how the admission gate and the storm
   controller absorbed the renegotiation storm (``--json`` emits the
   backpressure-on/off comparison);
+* ``load`` — sweep the concurrent negotiation service over a seeded
+  arrival process (Poisson/diurnal/flash crowd) at rising load
+  multipliers and print the saturation curve; exits nonzero unless the
+  service degrades gracefully at 2× saturation (honest hints, no
+  starvation, zero leaks);
 * ``experiments`` — list the E-series experiment index;
 * ``bench`` — run the negotiation throughput benchmark (streaming vs
   full sort, cache on/off) and write ``BENCH_negotiation.json``;
@@ -215,6 +220,49 @@ def build_parser() -> argparse.ArgumentParser:
              "(implies --compare)",
     )
     add_telemetry_argument(storm)
+
+    load = sub.add_parser(
+        "load",
+        help="sweep the concurrent negotiation service to saturation "
+             "and audit the overload behaviour",
+    )
+    load.add_argument(
+        "--arrivals", default="poisson",
+        choices=("poisson", "diurnal", "flash"),
+        help="arrival process (default poisson)",
+    )
+    load.add_argument("--rate", type=float, default=1.0, metavar="R",
+                      help="base arrival rate, negotiations/s "
+                           "(default 1.0)")
+    load.add_argument("--horizon", type=float, default=120.0,
+                      metavar="S", help="arrival window, seconds "
+                                        "(default 120)")
+    load.add_argument(
+        "--multipliers", default="0.5,1,2,4,8", metavar="M,M,...",
+        help="comma-separated offered-load multipliers swept over the "
+             "base rate (default 0.5,1,2,4,8)",
+    )
+    load.add_argument("--servers", type=int, default=3)
+    load.add_argument("--clients", type=int, default=12)
+    load.add_argument("--seed", type=int, default=1,
+                      help="arrivals + user behaviour seed")
+    load.add_argument("--scheduler-seed", type=int, default=0,
+                      help="cooperative-scheduler interleaving seed")
+    load.add_argument("--profile", default="balanced")
+    load.add_argument(
+        "--no-gate", action="store_true",
+        help="bypass the admission gate (every arrival starts a "
+             "negotiation task immediately)",
+    )
+    load.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as JSON on stdout",
+    )
+    load.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the JSON report to PATH "
+             "(e.g. BENCH_load.json)",
+    )
 
     sub.add_parser("experiments", help="list the experiment index")
 
@@ -707,6 +755,64 @@ def _cmd_storm(args) -> int:
     return 0
 
 
+def _cmd_load(args) -> int:
+    import json
+
+    from .core import ProfileManager
+    from .sim import ArrivalSpec, LoadSpec, run_load
+    from .util.errors import NotFoundError, SimulationError, ValidationError
+
+    if args.profile not in ProfileManager():
+        print(f"unknown profile {args.profile!r}; have "
+              f"{ProfileManager().names()}", file=sys.stderr)
+        return 2
+    try:
+        multipliers = tuple(
+            float(part) for part in args.multipliers.split(",") if part
+        )
+    except ValueError:
+        print(f"bad --multipliers {args.multipliers!r}: expected "
+              "comma-separated numbers", file=sys.stderr)
+        return 2
+    try:
+        spec = LoadSpec(
+            arrival=ArrivalSpec(
+                kind=args.arrivals,
+                rate_per_s=args.rate,
+                horizon_s=args.horizon,
+            ),
+            servers=args.servers,
+            clients=args.clients,
+            seed=args.seed,
+            scheduler_seed=args.scheduler_seed,
+            multipliers=multipliers,
+            use_gate=not args.no_gate,
+            profile_name=args.profile,
+        )
+        report = run_load(spec)
+    except (NotFoundError, SimulationError, ValidationError) as error:
+        print(f"bad load run: {error}", file=sys.stderr)
+        return 2
+    payload = json.dumps(report.as_dict(), sort_keys=True, indent=2)
+    if args.output is not None:
+        import pathlib
+
+        pathlib.Path(args.output).write_text(
+            payload + "\n", encoding="utf-8"
+        )
+    if args.json:
+        print(payload)
+    else:
+        print(report.render())
+    if not report.graceful_at_2x:
+        print("\nWARNING: the service did not degrade gracefully at "
+              "2x saturation (starved clients, leaked reservations, "
+              "dishonest hints, or the sweep never reached 2x "
+              "capacity)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_experiments(_args) -> int:
     from .util.tables import render_table
 
@@ -771,6 +877,7 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         "trace": _cmd_trace,
         "stats": _cmd_stats,
         "storm": _cmd_storm,
+        "load": _cmd_load,
         "experiments": _cmd_experiments,
         "bench": _cmd_bench,
         "report": _cmd_report,

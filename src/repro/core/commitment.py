@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, TypeVar
+from typing import Any, Callable, Generator, Mapping, TypeVar
 
 from ..cmfs.server import MediaServer, StreamReservation
 from ..faults.health import CircuitBreaker
@@ -280,6 +280,109 @@ class ResourceCommitter:
             finally:
                 self._rollback(streams, flows)
             return None
+        bundle = ReservationBundle(
+            offer=offer,
+            streams=tuple(streams),
+            flows=tuple(flows),
+            holder=holder,
+        )
+        if self.leases is not None:
+            self.leases.grant(holder, bundle, self._clock.now())
+        return bundle
+
+    def iter_commit(
+        self,
+        offer: SystemOffer,
+        space: OfferSpace,
+        client_access_point: str,
+        *,
+        guarantee: GuaranteeType = GuaranteeType.GUARANTEED,
+        holder: str = "session",
+    ) -> "Generator[None, None, ReservationBundle | None]":
+        """Cooperative :meth:`try_commit`: the same all-or-nothing
+        contract, exposed as a generator that yields control before
+        every reservation call so thousands of step-5 walks can
+        interleave on one scheduler.
+
+        Two deltas against the synchronous path, both contention
+        armour:
+
+        * **ordered acquisition** — variants are reserved in sorted
+          ``(server_id, monomedia_id)`` order, so two walks needing the
+          same pair of servers always approach them in the same order
+          and can never hold-and-wait against each other;
+        * **abandonment** — closing the generator at a yield point (the
+          service does this when a negotiation's deadline budget runs
+          out) rolls back everything taken so far and journals the
+          RELEASED record, exactly like a refusal.
+
+        Between the final reservation and the generator's return there
+        is no yield, so the caller can wrap the bundle in a
+        :class:`Commitment` (journaling RESERVED) without another task
+        observing the open INTENT window.
+        """
+        self.journal_event(
+            JournalRecordType.INTENT,
+            holder,
+            {"offer_id": offer.offer_id, "client": client_access_point},
+        )
+        streams: list[StreamReservation] = []
+        flows: list[FlowReservation] = []
+        ordered = sorted(
+            offer.variants.items(),
+            key=lambda item: (item[1].server_id, item[0]),
+        )
+        try:
+            for monomedia_id, variant in ordered:
+                spec = space.spec_for(variant)
+                server = self.server(variant.server_id)
+                rate = guarantee.billable_rate(spec)
+                yield
+                streams.append(
+                    self._run_resilient(
+                        lambda s=server, v=variant, r=rate: s.admit(
+                            v.variant_id, r, holder=holder
+                        ),
+                        server_id=server.server_id,
+                    )
+                )
+                yield
+                flows.append(
+                    self._run_resilient(
+                        lambda s=server, sp=spec: self._transport.reserve(
+                            s.access_point,
+                            client_access_point,
+                            sp,
+                            guarantee=guarantee,
+                            holder=holder,
+                        )
+                    )
+                )
+        except COMMIT_FAILURES as error:
+            try:
+                self.telemetry.count("commitment.rollbacks")
+                self.telemetry.annotate(refusal=type(error).__name__)
+                self.journal_event(
+                    JournalRecordType.RELEASED,
+                    holder,
+                    {"offer_id": offer.offer_id, "reason": "commit-failed"},
+                )
+            finally:
+                self._rollback(streams, flows)
+            return None
+        except GeneratorExit:
+            # Abandoned at a yield point (deadline budget exhausted):
+            # the refusal's rollback discipline, then let close finish.
+            try:
+                self.telemetry.count("commitment.rollbacks")
+                self.journal_event(
+                    JournalRecordType.RELEASED,
+                    holder,
+                    {"offer_id": offer.offer_id, "reason": "abandoned"},
+                )
+            finally:
+                self._rollback(streams, flows)
+            raise
         bundle = ReservationBundle(
             offer=offer,
             streams=tuple(streams),

@@ -69,6 +69,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "DEFAULT_RETRY_AFTER_S",
     "OFFER_MODES",
+    "NegotiationPlan",
     "NegotiationResult",
     "QoSManager",
 ]
@@ -136,6 +137,25 @@ class NegotiationResult:
         return "\n".join(lines)
 
 
+@dataclass(slots=True)
+class NegotiationPlan:
+    """The outcome of steps 1–4, ready for a step-5 commitment walk.
+
+    Exactly one of three shapes: ``early`` set (the procedure already
+    ended in step 1 or 2), ``stream`` set (lazy best-first
+    classification; ``classified`` holds nothing yet), or ``classified``
+    populated (the eager full sort).  The concurrent service plans
+    synchronously — steps 1–4 touch no shared ledgers — and then walks
+    step 5 cooperatively, yielding between reservations.
+    """
+
+    early: "NegotiationResult | None" = None
+    space: "OfferSpace | None" = None
+    classified: "list[ClassifiedOffer]" = field(default_factory=list)
+    stream: "Iterator[ClassifiedOffer] | None" = None
+    offers_in: int = 0
+
+
 class QoSManager:
     """The component implementing QoS negotiation and adaptation (§4).
 
@@ -186,6 +206,14 @@ class QoSManager:
             telemetry=self.telemetry,
         )
         self._holders = itertools.count(1)
+
+    def new_holder(self) -> str:
+        """Allocate the next reservation-holder id.  Both the
+        synchronous walk and the concurrent service draw from this one
+        counter, so holders stay unique across interleaved
+        negotiations (the journal's single-writer check depends on
+        it)."""
+        return f"session-{next(self._holders)}"
 
     @staticmethod
     def _check_offer_mode(offer_mode: str) -> str:
@@ -283,6 +311,65 @@ class QoSManager:
         max_offers: "int | None",
         offer_mode: str = "full",
     ) -> NegotiationResult:
+        plan = self._plan_steps(
+            document, profile, client,
+            policy=policy, guarantee=guarantee,
+            max_offers=max_offers, offer_mode=offer_mode,
+        )
+        if plan.early is not None:
+            return plan.early
+        assert plan.space is not None
+        if plan.stream is not None:
+            return self._commit_stream(
+                plan.stream, plan.space, profile, client, guarantee,
+                offers_in=plan.offers_in,
+            )
+        return self._commit_best(
+            plan.classified, plan.space, profile, client, guarantee
+        )
+
+    def plan(
+        self,
+        document: "Document | str",
+        profile: UserProfile,
+        client: ClientMachine,
+        *,
+        policy: ClassificationPolicy | None = None,
+        guarantee: GuaranteeType | None = None,
+        max_offers: "int | None" = None,
+    ) -> NegotiationPlan:
+        """Steps 1–4 only: classify without reserving anything.
+
+        This is the concurrent service's entry point — planning reads
+        the metadata database and the client's static characteristics
+        but never touches the shared server/transport ledgers, so it
+        needs no yield points.  The returned plan feeds a cooperative
+        step-5 walk (:meth:`ResourceCommitter.iter_commit` per
+        candidate).  Always plans eagerly: a lazy stream held across
+        scheduler switches would interleave its classification work
+        unpredictably with other negotiations' telemetry.
+        """
+        max_offers = check_top_k(max_offers, parameter="max_offers")
+        if isinstance(document, str):
+            document = self.database.get_document(document)
+        return self._plan_steps(
+            document, profile, client,
+            policy=policy or self.policy,
+            guarantee=guarantee or self.guarantee,
+            max_offers=max_offers, offer_mode="full",
+        )
+
+    def _plan_steps(
+        self,
+        document: Document,
+        profile: UserProfile,
+        client: ClientMachine,
+        *,
+        policy: ClassificationPolicy,
+        guarantee: GuaranteeType,
+        max_offers: "int | None",
+        offer_mode: str = "full",
+    ) -> NegotiationPlan:
         importance = self._importance_of(profile)
         telemetry = self.telemetry
 
@@ -298,11 +385,11 @@ class QoSManager:
                     sorted(medium.value for medium in violations),
                 )
         if violations:
-            return NegotiationResult(
+            return NegotiationPlan(early=NegotiationResult(
                 status=NegotiationStatus.FAILED_WITH_LOCAL_OFFER,
                 user_offer=local_best,
                 local_violations=violations,
-            )
+            ))
 
         # Step 2: static compatibility checking (decoder support, plus
         # the security floor when the profile carries preferences).
@@ -363,19 +450,19 @@ class QoSManager:
                     "negotiation.offers.dropped", float(dropped), step="2"
                 )
         if space.is_empty:
-            return NegotiationResult(
+            return NegotiationPlan(early=NegotiationResult(
                 status=NegotiationStatus.FAILED_WITHOUT_OFFER,
                 offer_space=space,
-            )
+            ), space=space)
 
         # A non-trivial preference offer_bonus is per-offer, which
         # breaks the separability the best-first stream relies on —
         # those requests fall back to the vectorized full sort.
         separable = preferences is None or preferences.is_trivial
         if offer_mode in ("stream", "auto") and separable:
-            return self._run_streaming_steps(
-                space, profile, client, importance,
-                policy=policy, guarantee=guarantee, max_offers=max_offers,
+            return self._plan_streaming_steps(
+                space, profile, importance,
+                policy=policy, max_offers=max_offers,
             )
 
         # Step 3: classification parameters (SNS + OIF per offer).
@@ -423,23 +510,20 @@ class QoSManager:
                 sum(1 for c in classified if c.satisfies_user),
             )
 
-        # Step 5: resource commitment.
-        return self._commit_best(
-            classified, space, profile, client, guarantee
+        return NegotiationPlan(
+            space=space, classified=classified, offers_in=len(classified)
         )
 
-    def _run_streaming_steps(
+    def _plan_streaming_steps(
         self,
         space: OfferSpace,
         profile: UserProfile,
-        client: ClientMachine,
         importance: ImportanceProfile,
         *,
         policy: ClassificationPolicy,
-        guarantee: GuaranteeType,
         max_offers: "int | None",
-    ) -> NegotiationResult:
-        """Steps 3–5 over the lazy best-first stream: offers are
+    ) -> NegotiationPlan:
+        """Steps 3–4 over the lazy best-first stream: offers are
         classified (and materialised) only as the commitment walk
         consumes them, in exactly the full sort's order."""
         telemetry = self.telemetry
@@ -466,9 +550,7 @@ class QoSManager:
             sp4.set_attribute("streaming", True)
             sp4.set_attribute("offers_in", out)
             sp4.set_attribute("offers_out", out)
-        return self._commit_stream(
-            stream, space, profile, client, guarantee, offers_in=out
-        )
+        return NegotiationPlan(space=space, stream=stream, offers_in=out)
 
     def _commit_best(
         self,
@@ -488,7 +570,7 @@ class QoSManager:
         (circuit-open) server are skipped outright — the walk degrades
         gracefully to alternate-server variants instead of spending its
         retry budget against a machine known to be failing."""
-        holder = f"session-{next(self._holders)}"
+        holder = self.new_holder()
         satisfying = [
             c for c in classified
             if c.satisfies_user and c.offer.offer_id not in exclude_offer_ids
@@ -529,7 +611,7 @@ class QoSManager:
         buffered and attempted after the stream drains.  The attempt
         sequence — and hence the outcome — is identical to
         :meth:`_commit_best` over the fully sorted list."""
-        holder = f"session-{next(self._holders)}"
+        holder = self.new_holder()
         consumed: list[ClassifiedOffer] = []
         deferred: list[ClassifiedOffer] = []
 
@@ -670,11 +752,11 @@ class QoSManager:
             classified=classified,
             offer_space=space,
             attempts=attempts,
-            retry_after_s=self._retry_after_hint(),
+            retry_after_s=self.retry_after_hint(),
             _rest=rest,
         )
 
-    def _retry_after_hint(self) -> float:
+    def retry_after_hint(self) -> float:
         """When is retrying the whole negotiation first worthwhile?  The
         earliest quarantine expiry if a breaker is open, else a default
         heuristic."""

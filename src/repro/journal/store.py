@@ -107,6 +107,13 @@ class ReservationJournal:
         self._next_sequence = 1
         self._handle: "io.BufferedWriter | None" = None
         self._closed = False
+        # Single-writer discipline: holders whose latest record is an
+        # INTENT (a commitment attempt in flight).  A second INTENT for
+        # the same holder before the first resolves would interleave two
+        # attempts' records and tear the per-holder semantics recovery
+        # replays — the cooperative scheduler makes that an easy bug to
+        # write, so the journal refuses it loudly.
+        self._open_intents: "set[str]" = set()
 
     # -- opening / closing ---------------------------------------------------------
 
@@ -132,6 +139,15 @@ class ReservationJournal:
                 records[-1].sequence + 1 if records else 1
             )
             journal.torn_records_dropped = torn
+            # Rebuild the in-flight-INTENT set tolerantly: a crash may
+            # legitimately leave an INTENT open at the tail (recovery
+            # closes it with a compensating RELEASED), so replay only
+            # tracks — it never raises.
+            for record in records:
+                if record.record_type is JournalRecordType.INTENT:
+                    journal._open_intents.add(record.holder)
+                else:
+                    journal._open_intents.discard(record.holder)
             if clean_length < len(data):
                 with file_path.open("r+b") as handle:
                     handle.truncate(clean_length)
@@ -168,6 +184,16 @@ class ReservationJournal:
         """
         if self._closed:
             raise JournalError("journal is closed")
+        if (
+            record_type is JournalRecordType.INTENT
+            and holder in self._open_intents
+        ):
+            raise JournalError(
+                f"interleaved INTENT for holder {holder!r}: the previous "
+                "commitment attempt has not resolved (RESERVED/RELEASED) "
+                "— one holder must finish each step-5 attempt before "
+                "starting the next"
+            )
         record = JournalRecord(
             sequence=self._next_sequence,
             record_type=record_type,
@@ -178,6 +204,10 @@ class ReservationJournal:
         self._write(record)
         self._records.append(record)
         self._next_sequence += 1
+        if record_type is JournalRecordType.INTENT:
+            self._open_intents.add(holder)
+        else:
+            self._open_intents.discard(holder)
         telemetry = self.telemetry
         if telemetry is not None and telemetry.enabled:
             telemetry.count(

@@ -12,6 +12,16 @@ from .baselines import (
 )
 from .chaos import ChaosReport, ChaosSpec, run_chaos
 from .experiment import RunConfig, run_workload
+from .load import (
+    ArrivalSpec,
+    LoadCellReport,
+    LoadReport,
+    LoadSpec,
+    arrival_times,
+    jain_index,
+    run_load,
+    run_load_cell,
+)
 from .recover import CrashRecoveryReport, CrashRecoverySpec, run_crash_recovery
 from .metrics import RunStats, StatusCounts, UtilizationIntegral
 from .scenario import Scenario, ScenarioSpec, build_scenario
@@ -41,6 +51,14 @@ __all__ = [
     "run_crash_recovery",
     "RunConfig",
     "run_workload",
+    "ArrivalSpec",
+    "LoadCellReport",
+    "LoadReport",
+    "LoadSpec",
+    "arrival_times",
+    "jain_index",
+    "run_load",
+    "run_load_cell",
     "RunStats",
     "StatusCounts",
     "UtilizationIntegral",

@@ -253,7 +253,7 @@ class StormController:
     # -- hint-driven retries -------------------------------------------------------
 
     def _set_cooldown(self, session_id: str, now: float) -> None:
-        hint = self.runtime.manager._retry_after_hint()
+        hint = self.runtime.manager.retry_after_hint()
         self._cooldown_until[session_id] = now + self._jittered(hint)
 
     def _schedule_lost_retry(
@@ -269,7 +269,7 @@ class StormController:
             return
         self._lost_retries_left[session.session_id] = left - 1
         self.stats.lost_retries += 1
-        hint = self.runtime.manager._retry_after_hint()
+        hint = self.runtime.manager.retry_after_hint()
         self.loop.after(
             self._jittered(max(hint, 1.0)),
             lambda: self._retry_lost(session),

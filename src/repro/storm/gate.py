@@ -53,6 +53,7 @@ __all__ = ["GatePolicy", "GateStats", "TokenBucket", "AdmissionGate"]
 
 Attempt = Callable[[], NegotiationResult]
 Deliver = Callable[[NegotiationResult], None]
+Start = Callable[[Deliver], None]
 
 
 @dataclass(frozen=True, slots=True)
@@ -152,13 +153,24 @@ class TokenBucket:
 
 @dataclass(slots=True)
 class _Pending:
-    """One request parked in the retry queue."""
+    """One request parked in the retry queue.
+
+    Exactly one of ``attempt`` (synchronous negotiation) or ``start``
+    (deferred: the concurrent service spawns a task and calls back with
+    the verdict) is set.  ``last_hint_s`` remembers the largest
+    manager/breaker ``retry_after_s`` seen on earlier FAILEDTRYLATER
+    verdicts, so a later shed surfaces the *max* of the gate's own
+    estimate and the known-closed window — hints stay monotone no
+    matter which path delivers last.
+    """
 
     label: str
-    attempt: Attempt
+    attempt: "Attempt | None"
     deliver: Deliver
     submitted_at: float
     retries_left: int
+    start: "Start | None" = None
+    last_hint_s: "float | None" = None
 
 
 class AdmissionGate:
@@ -226,6 +238,34 @@ class AdmissionGate:
             return
         self._dispatch_or_park(pending)
 
+    def submit_deferred(
+        self, label: str, start: Start, deliver: Deliver
+    ) -> None:
+        """Like :meth:`submit`, for negotiations that finish later.
+
+        ``start`` is invoked when the gate dispatches the request; it
+        receives a callback to invoke with the terminal
+        :class:`NegotiationResult` once the (cooperative) negotiation
+        completes.  The gate applies the same FAILEDTRYLATER
+        requeue/shed policy to that verdict as it does to synchronous
+        attempts.
+        """
+        self.stats.submitted += 1
+        pending = _Pending(
+            label=label,
+            attempt=None,
+            deliver=deliver,
+            submitted_at=self.loop.now,
+            retries_left=self.policy.retry_limit,
+            start=start,
+        )
+        if not self.enabled:
+            self.stats.admitted += 1
+            self._decision("admitted")
+            start(lambda result: self._finish(pending, result))
+            return
+        self._dispatch_or_park(pending)
+
     # -- dispatch machinery --------------------------------------------------------
 
     def _dispatch_or_park(self, pending: _Pending) -> None:
@@ -242,7 +282,18 @@ class AdmissionGate:
             self._shed(pending)
 
     def _run(self, pending: _Pending) -> None:
-        result = pending.attempt()
+        if pending.start is not None:
+            pending.start(
+                lambda result: self._on_result(pending, result)
+            )
+            return
+        assert pending.attempt is not None
+        self._on_result(pending, pending.attempt())
+
+    def _on_result(
+        self, pending: _Pending, result: NegotiationResult
+    ) -> None:
+        """Apply the retry/shed policy to one negotiation verdict."""
         if (
             result.status is NegotiationStatus.FAILED_TRY_LATER
             and pending.retries_left > 0
@@ -253,6 +304,7 @@ class AdmissionGate:
             self.stats.requeued_try_later += 1
             self.telemetry.count("storm.gate.retries")
             hint = result.retry_after_s or self.policy.min_retry_delay_s
+            pending.last_hint_s = max(pending.last_hint_s or 0.0, hint)
             if len(self._queue) < self.policy.queue_limit:
                 self._park(
                     pending, max(hint, self.policy.min_retry_delay_s)
@@ -260,6 +312,16 @@ class AdmissionGate:
             else:
                 self._shed(pending)
             return
+        if result.status is NegotiationStatus.FAILED_TRY_LATER:
+            # Terminal pass-through of the manager's refusal: the
+            # client's next submission still pays the gate's own
+            # readmission cost, so surface the *max* of every hint
+            # source — never whichever path happened to run last.
+            result.retry_after_s = max(
+                result.retry_after_s or 0.0,
+                pending.last_hint_s or 0.0,
+                self.bucket.time_until_token(self.loop.now),
+            )
         self._finish(pending, result)
 
     def _park(self, pending: _Pending, delay_s: float) -> None:
@@ -294,14 +356,23 @@ class AdmissionGate:
             self._run(pending)
 
     def _shed(self, pending: _Pending) -> None:
-        """Queue full: refuse explicitly, with an honest hint."""
+        """Queue full: refuse explicitly, with an honest hint.
+
+        When an earlier attempt already produced a breaker hint
+        (``last_hint_s``), the shed hint is the max of that and the
+        gate's own drain estimate — retrying into a known-closed
+        quarantine window helps nobody.
+        """
         self.stats.shed += 1
         self._decision("shed")
+        hint = self._shed_hint()
+        if pending.last_hint_s is not None:
+            hint = max(hint, pending.last_hint_s)
         self._finish(
             pending,
             NegotiationResult(
                 status=NegotiationStatus.FAILED_TRY_LATER,
-                retry_after_s=self._shed_hint(),
+                retry_after_s=hint,
             ),
         )
 

@@ -116,6 +116,16 @@ METRICS: "tuple[MetricSpec, ...]" = (
     _counter("storm.downgrades", "sessions",
              "storm-controller downgrade attempts, by outcome "
              "(in-place/fallback/failed)", "outcome"),
+    # -- concurrent negotiation service (repro.service) -----------------------------
+    _counter("service.tasks", "tasks",
+             "cooperative scheduler tasks finished, by outcome "
+             "(completed/failed)", "outcome"),
+    _counter("service.deadline.overruns", "negotiations",
+             "negotiations whose step-5 walk exhausted its deadline "
+             "budget and returned an honest FAILEDTRYLATER"),
+    _counter("load.arrivals", "requests",
+             "load-generator arrivals submitted to the service, by "
+             "arrival process (poisson/diurnal/flash)", "process"),
     # -- negotiation cache (repro.perf) ---------------------------------------------
     _counter("cache.hits", "lookups",
              "negotiation cache lookups served from memory, by store",
@@ -141,6 +151,9 @@ METRICS: "tuple[MetricSpec, ...]" = (
     _gauge("storm.queue.depth", "requests",
            "negotiation requests waiting in the admission gate's "
            "bounded retry queue"),
+    _gauge("service.inflight", "negotiations",
+           "negotiations submitted to the concurrent service and not "
+           "yet delivered a terminal verdict"),
     # -- histograms -----------------------------------------------------------------
     _histogram("negotiation.latency_s", "seconds",
                "end-to-end negotiation latency in simulated seconds",
@@ -159,6 +172,14 @@ METRICS: "tuple[MetricSpec, ...]" = (
                "simulated time from a request's first gate submission "
                "to its terminal verdict",
                (0.0, 1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0)),
+    _histogram("service.verdict.wait_s", "seconds",
+               "simulated time from service submission to terminal "
+               "verdict (includes gate queueing)",
+               (0.0, 0.1, 0.5, 1.0, 5.0, 15.0, 30.0, 60.0, 120.0)),
+    _histogram("service.walk.switches", "switches",
+               "cooperative yield points consumed by one negotiation's "
+               "step-5 walk",
+               (0.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)),
 )
 
 CATALOG: "dict[str, MetricSpec]" = {spec.name: spec for spec in METRICS}

@@ -1,0 +1,18 @@
+"""REP016: a blocking fsync is reachable from a cooperative task.
+
+The function is a plain generator — no ``async def`` anywhere — but it
+lives under ``repro/service``, so the cooperative-root extension must
+still root the reachability walk at it.
+"""
+
+import os
+
+
+def persist(fd):
+    os.fsync(fd)
+
+
+def negotiation_task(session, fd):
+    yield
+    persist(fd)
+    return True

@@ -1,0 +1,11 @@
+"""REP016 pass: a cooperative task that never blocks inline."""
+
+
+def account(ledger, delay_s):
+    ledger.append(delay_s)
+
+
+def negotiation_task(session, ledger):
+    yield
+    account(ledger, 0.01)
+    return True

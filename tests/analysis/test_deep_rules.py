@@ -76,6 +76,23 @@ class TestDeepFixturePairs:
         assert report.errors == []
 
 
+class TestCooperativeRoots:
+    """REP016 roots at cooperative-scheduler tasks, not just async."""
+
+    def test_generator_task_in_service_package_is_a_blocking_root(self):
+        findings = deep_findings_for(
+            "REP016", "deep/flagging/repro/service/rep016_coop_flag.py"
+        )
+        assert findings, "cooperative task did not root REP016"
+        assert any("cooperative task" in f.message for f in findings)
+        assert any("fsync" in f.message for f in findings)
+
+    def test_non_blocking_cooperative_task_is_clean(self):
+        assert deep_findings_for(
+            "REP016", "deep/passing/repro/service/rep016_coop_pass.py"
+        ) == []
+
+
 class TestCrossFunctionLeak:
     """The deeppkg fixture: REP002 misses it, REP012 catches it."""
 

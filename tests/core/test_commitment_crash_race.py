@@ -181,3 +181,105 @@ class TestRenegotiateExpiryRace:
         assert len(journal) == before
         RecoveryManager(journal, servers, transport, clock=clock).replay()
         assert total_reserved(servers, transport) == (0, 0)
+
+
+class TestSchedulerInterleavedExpiryRace:
+    """The same race under the cooperative scheduler: the user's
+    confirm task and the choice-period watchdog wake at the same
+    simulated instant, and the scheduler seed decides who runs first.
+    Whichever wins, the commitment journals exactly one terminal
+    transition and nothing leaks."""
+
+    def run_race(self, scheduler_seed, confirm_offset_s):
+        from repro.core import ProfileManager
+        from repro.service import (
+            EXPIRY_MARGIN_S,
+            NegotiationService,
+            ServicePolicy,
+        )
+        from repro.sim import ScenarioSpec, build_scenario
+
+        journal = ReservationJournal()
+        scenario = build_scenario(
+            ScenarioSpec(server_count=2, client_count=2, document_count=1),
+            journal=journal,
+        )
+        profile = ProfileManager().get("balanced")
+        # Land the user's think time exactly on the watchdog's wake
+        # tick (deadline + margin) plus the caller's offset.
+        policy = ServicePolicy(
+            confirm_delay_s=(
+                profile.choice_period_s + EXPIRY_MARGIN_S + confirm_offset_s
+            ),
+            confirm_jitter=0.0,
+            slow_user_fraction=0.0,
+            reject_fraction=0.0,
+            hold_s=5.0,
+        )
+        service = NegotiationService(
+            scenario.manager,
+            scenario.loop,
+            policy=policy,
+            scheduler_seed=scheduler_seed,
+        )
+        service.submit(
+            scenario.document_ids()[0],
+            profile,
+            scenario.any_client(),
+            label="race",
+        )
+        scenario.loop.run()
+        return scenario, service, journal
+
+    @pytest.mark.parametrize("scheduler_seed", range(6))
+    def test_tied_wakeup_journals_exactly_one_terminal(
+        self, scheduler_seed
+    ):
+        scenario, service, journal = self.run_race(scheduler_seed, 0.0)
+        (request,) = service.requests
+        assert request.result is not None
+        # Both orders resolve to EXPIRED here: the watchdog fires at
+        # deadline+margin, and a confirm() attempted at that same
+        # instant is itself past the deadline (ConfirmationTimeout).
+        assert request.expired
+        assert not request.confirmed
+        terminal = [
+            r for r in journal.records()
+            if r.record_type in (
+                JournalRecordType.EXPIRED, JournalRecordType.RELEASED
+            )
+        ]
+        assert len(terminal) == 1
+        assert terminal[0].record_type is JournalRecordType.EXPIRED
+        assert total_reserved(
+            scenario.servers, scenario.transport
+        ) == (0, 0)
+
+    @pytest.mark.parametrize("scheduler_seed", range(6))
+    def test_confirm_at_the_deadline_beats_the_watchdog(
+        self, scheduler_seed
+    ):
+        from repro.service import EXPIRY_MARGIN_S
+
+        # Think time = the choice period exactly: confirm() runs at the
+        # deadline (still valid — expiry is strictly after), a full
+        # margin before the watchdog can wake.
+        scenario, service, journal = self.run_race(
+            scheduler_seed, -EXPIRY_MARGIN_S
+        )
+        (request,) = service.requests
+        assert request.confirmed
+        assert not request.expired
+        terminal = [
+            r for r in journal.records()
+            if r.record_type in (
+                JournalRecordType.EXPIRED, JournalRecordType.RELEASED
+            )
+        ]
+        # Confirmed, held, released: the one terminal record is the
+        # RELEASED from teardown — never a stray EXPIRED.
+        assert len(terminal) == 1
+        assert terminal[0].record_type is JournalRecordType.RELEASED
+        assert total_reserved(
+            scenario.servers, scenario.transport
+        ) == (0, 0)

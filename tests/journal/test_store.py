@@ -162,3 +162,63 @@ class TestReadJournalBytes:
         assert len(records) == 4
         assert clean == len(data)
         assert torn == 0
+
+
+class TestSingleWriterDiscipline:
+    """An INTENT opens a step-5 window for its holder; a second INTENT
+    for the same holder before RESERVED/RELEASED is an interleaving bug
+    (two walks sharing one holder id), and the append refuses it."""
+
+    def test_interleaved_intent_for_same_holder_is_rejected(self):
+        journal = ReservationJournal()
+        journal.append(JournalRecordType.INTENT, "s1", timestamp=0.0)
+        with pytest.raises(JournalError, match="interleaved INTENT"):
+            journal.append(JournalRecordType.INTENT, "s1", timestamp=0.1)
+
+    def test_resolved_window_allows_the_next_attempt(self):
+        journal = ReservationJournal()
+        journal.append(JournalRecordType.INTENT, "s1", timestamp=0.0)
+        journal.append(
+            JournalRecordType.RELEASED, "s1",
+            {"reason": "commit-failed"}, timestamp=0.1,
+        )
+        journal.append(JournalRecordType.INTENT, "s1", timestamp=0.2)
+        journal.append(
+            JournalRecordType.RESERVED, "s1",
+            {"choice_period_s": 60.0}, timestamp=0.3,
+        )
+        journal.append(JournalRecordType.INTENT, "s2", timestamp=0.4)
+        assert len(journal) == 5
+
+    def test_concurrent_holders_may_interleave_freely(self):
+        journal = ReservationJournal()
+        journal.append(JournalRecordType.INTENT, "s1", timestamp=0.0)
+        journal.append(JournalRecordType.INTENT, "s2", timestamp=0.0)
+        journal.append(
+            JournalRecordType.RESERVED, "s2",
+            {"choice_period_s": 60.0}, timestamp=0.1,
+        )
+        journal.append(
+            JournalRecordType.RESERVED, "s1",
+            {"choice_period_s": 60.0}, timestamp=0.2,
+        )
+        assert len(journal) == 4
+
+    def test_reopened_journal_with_open_intent_tail_still_loads(
+        self, tmp_path
+    ):
+        """A crash can legitimately leave an INTENT open at the tail;
+        replay must tolerate it (recovery compensates), and the rebuilt
+        set still enforces the discipline going forward."""
+        path = tmp_path / "wal.jsonl"
+        journal = ReservationJournal(path)
+        journal.append(JournalRecordType.INTENT, "s1", timestamp=0.0)
+        journal.close()
+        reopened = ReservationJournal.open(path)
+        with pytest.raises(JournalError, match="interleaved INTENT"):
+            reopened.append(JournalRecordType.INTENT, "s1", timestamp=1.0)
+        reopened.append(
+            JournalRecordType.RELEASED, "s1",
+            {"reason": "orphan"}, timestamp=1.0,
+        )
+        reopened.append(JournalRecordType.INTENT, "s1", timestamp=2.0)

@@ -1,0 +1,200 @@
+"""The load generator and the overload-survival sweep."""
+
+import json
+
+import pytest
+
+from repro.sim.load import (
+    ArrivalSpec,
+    LoadCellReport,
+    LoadReport,
+    LoadSpec,
+    arrival_times,
+    jain_index,
+    run_load,
+    run_load_cell,
+)
+from repro.util.errors import SimulationError, ValidationError
+from repro.util.rng import make_rng
+
+QUICK = LoadSpec(
+    arrival=ArrivalSpec(kind="poisson", rate_per_s=1.0, horizon_s=30.0),
+    multipliers=(1.0,),
+)
+
+
+class TestArrivalSpec:
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(SimulationError, match="arrival kind"):
+            ArrivalSpec(kind="bursty")
+
+    def test_bad_rate_is_rejected(self):
+        with pytest.raises(ValidationError):
+            ArrivalSpec(rate_per_s=0.0)
+
+    def test_poisson_rate_is_flat(self):
+        spec = ArrivalSpec(kind="poisson", rate_per_s=2.0)
+        assert spec.rate_at(0.0) == spec.rate_at(50.0) == 2.0
+        assert spec.peak_rate() == 2.0
+
+    def test_diurnal_rate_oscillates_about_the_base(self):
+        spec = ArrivalSpec(
+            kind="diurnal", rate_per_s=2.0, amplitude=0.5, period_s=100.0,
+        )
+        assert spec.rate_at(25.0) == pytest.approx(3.0)   # sin peak
+        assert spec.rate_at(75.0) == pytest.approx(1.0)   # sin trough
+        assert spec.peak_rate() == pytest.approx(3.0)
+
+    def test_flash_rate_spikes_only_inside_the_window(self):
+        spec = ArrivalSpec(
+            kind="flash", rate_per_s=1.0, spike_factor=5.0,
+            spike_start_s=40.0, spike_duration_s=20.0,
+        )
+        assert spec.rate_at(39.9) == 1.0
+        assert spec.rate_at(40.0) == 5.0
+        assert spec.rate_at(59.9) == 5.0
+        assert spec.rate_at(60.0) == 1.0
+        assert spec.peak_rate() == 5.0
+
+
+class TestArrivalTimes:
+    def test_times_are_sorted_and_inside_the_horizon(self):
+        spec = ArrivalSpec(rate_per_s=2.0, horizon_s=50.0)
+        times = arrival_times(spec, make_rng(7))
+        assert times == sorted(times)
+        assert all(0.0 < t < 50.0 for t in times)
+        # ~100 expected; a 5-sigma band keeps this deterministic-safe.
+        assert 50 <= len(times) <= 150
+
+    def test_same_seed_same_trace(self):
+        spec = ArrivalSpec(rate_per_s=1.0, horizon_s=60.0)
+        assert arrival_times(spec, make_rng(3)) == arrival_times(
+            spec, make_rng(3)
+        )
+
+    def test_rate_scale_scales_the_count(self):
+        spec = ArrivalSpec(rate_per_s=1.0, horizon_s=200.0)
+        base = len(arrival_times(spec, make_rng(5)))
+        scaled = len(arrival_times(spec, make_rng(5), rate_scale=4.0))
+        assert scaled > 2.5 * base
+
+    def test_flash_crowd_concentrates_in_the_spike(self):
+        spec = ArrivalSpec(
+            kind="flash", rate_per_s=1.0, horizon_s=100.0,
+            spike_factor=8.0, spike_start_s=40.0, spike_duration_s=20.0,
+        )
+        times = arrival_times(spec, make_rng(11))
+        in_spike = sum(1 for t in times if 40.0 <= t < 60.0)
+        # The 20-second spike at 8x dwarfs the 80 plain seconds.
+        assert in_spike > len(times) / 2
+
+
+class TestJainIndex:
+    def test_perfectly_fair(self):
+        assert jain_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_one_hot_is_one_over_n(self):
+        assert jain_index([9.0, 0.0, 0.0]) == pytest.approx(1.0 / 3.0)
+
+    def test_degenerate_cases(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0
+
+
+class TestLoadCell:
+    def test_quick_cell_is_clean_and_accounted(self):
+        cell = run_load_cell(QUICK, 1.0)
+        assert cell.offered > 0
+        assert sum(cell.statuses.values()) == cell.offered
+        assert cell.unfinished == 0
+        assert cell.clean
+        assert cell.graceful
+        assert cell.dishonest_hints == 0
+        assert 0.0 <= cell.jain <= 1.0
+        assert cell.journal_records > 0
+
+    def test_cell_dict_round_trips_through_json(self):
+        cell = run_load_cell(QUICK, 1.0)
+        payload = json.loads(json.dumps(cell.as_dict(), sort_keys=True))
+        assert payload["offered"] == cell.offered
+        assert payload["graceful"] is True
+
+
+class TestLoadSweep:
+    def test_sweep_is_deterministic(self):
+        spec = LoadSpec(
+            arrival=ArrivalSpec(rate_per_s=1.0, horizon_s=30.0),
+            multipliers=(1.0, 4.0),
+        )
+        a = json.dumps(run_load(spec).as_dict(), sort_keys=True)
+        b = json.dumps(run_load(spec).as_dict(), sort_keys=True)
+        assert a == b
+
+    def test_saturation_is_the_best_served_rate(self):
+        spec = LoadSpec(
+            arrival=ArrivalSpec(rate_per_s=1.0, horizon_s=30.0),
+            multipliers=(0.5, 1.0),
+        )
+        report = run_load(spec)
+        assert report.saturation_rate_per_s == max(
+            c.served_rate_per_s for c in report.cells
+        )
+        assert report.all_clean
+
+    def test_scheduler_seed_keeps_cells_clean(self):
+        for scheduler_seed in (0, 5):
+            spec = LoadSpec(
+                arrival=ArrivalSpec(rate_per_s=1.0, horizon_s=30.0),
+                multipliers=(2.0,),
+                scheduler_seed=scheduler_seed,
+            )
+            (cell,) = run_load(spec).cells
+            assert cell.clean
+            assert cell.unfinished == 0
+
+
+class TestGracefulAt2x:
+    def cell(self, offered_rate, served_rate, **kw):
+        c = LoadCellReport(
+            offered_rate_per_s=offered_rate, served_rate_per_s=served_rate
+        )
+        for key, value in kw.items():
+            setattr(c, key, value)
+        return c
+
+    def report(self, cells):
+        r = LoadReport(cells=cells)
+        best = max(cells, key=lambda c: c.served_rate_per_s)
+        r.saturation_rate_per_s = best.served_rate_per_s
+        return r
+
+    def test_needs_an_overload_cell(self):
+        # Served keeps up with offered: the sweep never reached 2x
+        # capacity, so the gate cannot pass vacuously.
+        r = self.report([self.cell(1.0, 1.0), self.cell(2.0, 2.0)])
+        assert not r.graceful_at_2x
+
+    def test_graceful_overload_cell_passes(self):
+        r = self.report([self.cell(1.0, 1.0), self.cell(4.0, 2.0)])
+        assert r.graceful_at_2x
+
+    def test_starved_overload_cell_fails(self):
+        r = self.report([
+            self.cell(1.0, 1.0),
+            self.cell(4.0, 2.0, unfinished=3),
+        ])
+        assert not r.graceful_at_2x
+
+    def test_leaky_overload_cell_fails(self):
+        r = self.report([
+            self.cell(1.0, 1.0),
+            self.cell(4.0, 2.0, leaked_streams=1),
+        ])
+        assert not r.graceful_at_2x
+
+    def test_dishonest_hints_fail(self):
+        r = self.report([
+            self.cell(1.0, 1.0),
+            self.cell(4.0, 2.0, dishonest_hints=2),
+        ])
+        assert not r.graceful_at_2x

@@ -205,3 +205,140 @@ class TestDeterminism:
     def test_jitter_spreads_across_seeds(self):
         # Different seeds must de-synchronize the retry herd.
         assert self._run_once(11) != self._run_once(12)
+
+
+class TestMonotoneHints:
+    """When the gate and the manager both produce retry hints for one
+    refusal, the surfaced hint is the max — a client resubmitting any
+    earlier is guaranteed to fail again."""
+
+    def test_shed_after_requeue_surfaces_the_managers_larger_hint(
+        self, loop
+    ):
+        gate = AdmissionGate(
+            loop,
+            policy=tight_policy(retry_limit=3, queue_limit=0),
+            seed=3,
+        )
+        sink = Collector(loop)
+        gate.submit("r", lambda: try_later(hint=30.0), sink)
+        loop.run()
+        # The FAILEDTRYLATER verdict tried to requeue, found the queue
+        # full, and was shed — but the manager already said "not before
+        # 30 s", which dominates the gate's own token-refill hint.
+        assert gate.stats.shed == 1
+        assert sink.statuses == [NegotiationStatus.FAILED_TRY_LATER]
+        assert sink.results[-1][1].retry_after_s == pytest.approx(30.0)
+
+    def test_shed_hint_never_shrinks_below_the_gates_own(self, loop):
+        gate = AdmissionGate(
+            loop,
+            policy=tight_policy(retry_limit=3, queue_limit=0),
+            seed=3,
+        )
+        sink = Collector(loop)
+        gate.submit("r", lambda: try_later(hint=0.01), sink)
+        loop.run()
+        # A tiny manager hint must not override the gate's knowledge
+        # that no token frees for ~1 s.
+        hint = sink.results[-1][1].retry_after_s
+        assert hint is not None
+        assert hint >= 1.0 - 1e-9
+
+    def test_terminal_passthrough_keeps_the_largest_hint_seen(self, loop):
+        hints = iter([20.0, 0.5, 0.5])
+
+        def shrinking():
+            return try_later(hint=next(hints))
+
+        gate = AdmissionGate(
+            loop,
+            policy=tight_policy(retry_limit=2, queue_limit=4),
+            seed=3,
+        )
+        sink = Collector(loop)
+        gate.submit("r", shrinking, sink)
+        loop.run()
+        # Retries exhausted: the last verdict passes through, but its
+        # 0.5 s hint would contradict the 20 s the manager demanded two
+        # attempts ago — the max wins.
+        assert gate.stats.requeued_try_later == 2
+        assert sink.statuses == [NegotiationStatus.FAILED_TRY_LATER]
+        assert sink.results[-1][1].retry_after_s >= 20.0 - 1e-9
+
+
+class TestSubmitDeferred:
+    """The deferred path: the gate decides *when* a negotiation task
+    starts, and the task reports its verdict through a callback instead
+    of a synchronous return."""
+
+    def test_admitted_start_is_called_and_verdict_flows_through(
+        self, loop
+    ):
+        gate = AdmissionGate(loop, policy=tight_policy(), seed=3)
+        sink = Collector(loop)
+        started = []
+
+        def start(done):
+            started.append(loop.now)
+            loop.after(0.5, lambda: done(succeeded()))
+
+        gate.submit_deferred("r", start, sink)
+        assert started == [0.0]
+        assert sink.results == []  # verdict not in yet
+        loop.run()
+        assert sink.statuses == [NegotiationStatus.SUCCEEDED]
+        assert gate.stats.delivered == 1
+
+    def test_shed_request_never_starts(self, loop):
+        gate = AdmissionGate(
+            loop, policy=tight_policy(queue_limit=0), seed=3
+        )
+        sink = Collector(loop)
+        started = []
+
+        def start(done):
+            started.append(loop.now)
+            done(succeeded())
+
+        gate.submit_deferred("r1", start, sink)
+        gate.submit_deferred("r2", start, sink)
+        # One token: r1 started, r2 was shed without ever starting.
+        assert started == [0.0]
+        assert gate.stats.shed == 1
+        assert sink.statuses[-1] is NegotiationStatus.FAILED_TRY_LATER
+
+    def test_deferred_try_later_requeues_and_restarts(self, loop):
+        gate = AdmissionGate(
+            loop,
+            policy=tight_policy(retry_limit=2, queue_limit=4),
+            seed=3,
+        )
+        sink = Collector(loop)
+        starts = []
+
+        def start(done):
+            starts.append(loop.now)
+            done(
+                try_later(hint=2.0) if len(starts) == 1 else succeeded()
+            )
+
+        gate.submit_deferred("r", start, sink)
+        loop.run()
+        assert len(starts) == 2
+        assert starts[1] - starts[0] >= 2.0 - 1e-9
+        assert sink.statuses == [NegotiationStatus.SUCCEEDED]
+
+    def test_passthrough_mode_starts_inline(self, loop):
+        gate = AdmissionGate(
+            loop, policy=tight_policy(), seed=3, enabled=False
+        )
+        sink = Collector(loop)
+        started = []
+        gate.submit_deferred(
+            "r",
+            lambda done: (started.append(loop.now), done(succeeded()))[0],
+            sink,
+        )
+        assert started == [0.0]
+        assert sink.statuses == [NegotiationStatus.SUCCEEDED]
