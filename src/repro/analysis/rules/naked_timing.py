@@ -13,6 +13,13 @@ Observability must flow through the telemetry layer, not around it:
   the registry raises at runtime, but only on the code path that fires
   the metric; the lint catches a typo on every path.  The telemetry
   package itself (which defines and validates the catalog) is exempt.
+* **Unregistered time-series and SLO names.**  The same discipline on
+  the *read* side: flight-recorder series queries
+  (``counter_series`` / ``counter_rate`` / ``gauge_series`` /
+  ``quantile_series`` / ``histogram_series`` / ``window_histogram``)
+  and SLO declarations (``EventSelector(...)``, ``SloSpec(metric=...)``)
+  name catalog metrics too — a typo'd dashboard or SLO silently reads
+  an empty series forever, which is worse than crashing.
 """
 
 from __future__ import annotations
@@ -45,6 +52,20 @@ _METRIC_METHODS = {"count", "observe", "gauge_set", "gauge_add"}
 # Receivers that are telemetry hubs or metric registries.
 _METRIC_RECEIVERS = {"metrics", "telemetry"}
 
+# Flight-recorder series queries whose first argument is a catalog name
+# (the names are distinctive enough to check on any receiver).
+_SERIES_METHODS = {
+    "counter_series",
+    "counter_rate",
+    "gauge_series",
+    "quantile_series",
+    "histogram_series",
+    "window_histogram",
+}
+
+# SLO declaration constructors whose metric argument is a catalog name.
+_SLO_CONSTRUCTORS = {"EventSelector", "SloSpec"}
+
 
 def _is_metric_receiver(segment: str) -> bool:
     return segment.lstrip("_") in _METRIC_RECEIVERS
@@ -70,10 +91,12 @@ def _registered_metric_names() -> "frozenset[str]":
 @rule(
     RULE_ID,
     "naked-timing",
-    "no from-imported wall clocks; metric names must be in the catalog",
+    "no from-imported wall clocks; metric, time-series and SLO names "
+    "must be in the catalog",
     "take timestamps from the injected ManualClock (span start/end "
     "come from Telemetry) and register every metric name in "
-    "repro.telemetry.catalog.METRICS before recording it",
+    "repro.telemetry.catalog.METRICS before recording, querying, or "
+    "declaring an SLO over it",
 )
 def check(ctx: "ModuleContext") -> "Iterator[Finding]":
     in_telemetry = ctx.in_package("repro", "telemetry")
@@ -109,3 +132,33 @@ def check(ctx: "ModuleContext") -> "Iterator[Finding]":
                 f"metric name {node.args[0].value!r} is not registered "
                 f"in the telemetry catalog",
             )
+        if (
+            len(parts) >= 2
+            and parts[-1] in _SERIES_METHODS
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+            and node.args[0].value not in catalog
+        ):
+            yield make_finding(
+                ctx, RULE_ID, node.lineno, node.col_offset,
+                f"time-series query names unregistered metric "
+                f"{node.args[0].value!r}",
+            )
+        if parts[-1] in _SLO_CONSTRUCTORS:
+            metric_arg = None
+            if parts[-1] == "EventSelector" and node.args:
+                metric_arg = node.args[0]
+            for keyword in node.keywords:
+                if keyword.arg == "metric":
+                    metric_arg = keyword.value
+            if (
+                isinstance(metric_arg, ast.Constant)
+                and isinstance(metric_arg.value, str)
+                and metric_arg.value not in catalog
+            ):
+                yield make_finding(
+                    ctx, RULE_ID, node.lineno, node.col_offset,
+                    f"SLO {parts[-1]} names unregistered metric "
+                    f"{metric_arg.value!r}",
+                )

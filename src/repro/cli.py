@@ -26,6 +26,12 @@ Subcommands exercising the library from a shell:
   multipliers and print the saturation curve; exits nonzero unless the
   service degrades gracefully at 2× saturation (honest hints, no
   starvation, zero leaks);
+* ``slo`` — replay a seeded load cell with the flight recorder armed
+  and grade it against the shipped SLO set (burn-rate alerts, error
+  budgets); the ``brownout`` scenario must breach and exit nonzero;
+* ``profile`` — extract the per-negotiation critical path from the
+  span tree at rising load multipliers, name the top bottleneck, and
+  optionally write a folded-stack flamegraph;
 * ``experiments`` — list the E-series experiment index;
 * ``bench`` — run the negotiation throughput benchmark (streaming vs
   full sort, cache on/off) and write ``BENCH_negotiation.json``;
@@ -263,6 +269,88 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the JSON report to PATH "
              "(e.g. BENCH_load.json)",
     )
+    load.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="committed BENCH_load.json to regress against; fail when "
+             "any shared multiplier's served rate drops below the "
+             "tolerance",
+    )
+    load.add_argument(
+        "--tolerance", type=float, default=0.20, metavar="F",
+        help="tolerated fractional served-rate drop vs the baseline "
+             "(default %(default)s)",
+    )
+
+    slo = sub.add_parser(
+        "slo",
+        help="replay a seeded load cell with the flight recorder armed "
+             "and grade it against the shipped SLO set; exits nonzero "
+             "when a burn-rate alert pages or an error budget is spent",
+    )
+    slo.add_argument(
+        "--scenario", default="nominal",
+        choices=("nominal", "brownout"),
+        help="nominal = the green path (must pass); brownout = a "
+             "mid-run capacity loss across every server (must breach)",
+    )
+    slo.add_argument("--multiplier", type=float, default=1.0,
+                     help="offered-load multiplier (default 1.0)")
+    slo.add_argument("--rate", type=float, default=1.0, metavar="R",
+                     help="base arrival rate, negotiations/s")
+    slo.add_argument("--horizon", type=float, default=120.0, metavar="S",
+                     help="arrival window, seconds (default 120)")
+    slo.add_argument("--seed", type=int, default=1,
+                     help="arrivals + user behaviour seed")
+    slo.add_argument("--scheduler-seed", type=int, default=0,
+                     help="cooperative-scheduler interleaving seed")
+    slo.add_argument("--telemetry-seed", type=int, default=7,
+                     help="trace/span id seed (default 7)")
+    slo.add_argument("--interval", type=float, default=1.0, metavar="S",
+                     help="flight-recorder scrape interval, simulated "
+                          "seconds (default 1)")
+    slo.add_argument("--severity", type=float, default=0.85,
+                     help="brownout capacity loss fraction (default 0.85)")
+    slo.add_argument("--brownout-start", type=float, default=30.0,
+                     metavar="S", help="brownout onset, seconds")
+    slo.add_argument("--brownout-duration", type=float, default=60.0,
+                     metavar="S", help="brownout length, seconds")
+    slo.add_argument("--timeseries", default=None, metavar="PATH",
+                     help="write the flight-recorder time series to "
+                          "PATH as canonical JSONL")
+    slo.add_argument("--flamegraph", default=None, metavar="PATH",
+                     help="write the critical-path folded stacks to "
+                          "PATH (flamegraph.pl/speedscope format)")
+    slo.add_argument("--report", default=None, metavar="PATH",
+                     help="write the full graded run as JSON to PATH")
+    slo.add_argument("--json", action="store_true",
+                     help="emit the graded run as JSON on stdout")
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile the negotiation critical path per load "
+             "multiplier and name the top bottleneck",
+    )
+    profile.add_argument(
+        "--multipliers", default="0.5,1,2,4", metavar="M,M,...",
+        help="comma-separated offered-load multipliers "
+             "(default 0.5,1,2,4)",
+    )
+    profile.add_argument("--rate", type=float, default=1.0, metavar="R",
+                         help="base arrival rate, negotiations/s")
+    profile.add_argument("--horizon", type=float, default=120.0,
+                         metavar="S",
+                         help="arrival window, seconds (default 120)")
+    profile.add_argument("--seed", type=int, default=1,
+                         help="arrivals + user behaviour seed")
+    profile.add_argument("--scheduler-seed", type=int, default=0,
+                         help="cooperative-scheduler interleaving seed")
+    profile.add_argument("--telemetry-seed", type=int, default=7,
+                         help="trace/span id seed (default 7)")
+    profile.add_argument("--flamegraph", default=None, metavar="PATH",
+                         help="write the folded stacks of every "
+                              "multiplier (section-prefixed) to PATH")
+    profile.add_argument("--json", action="store_true",
+                         help="emit the per-multiplier profiles as JSON")
 
     sub.add_parser("experiments", help="list the experiment index")
 
@@ -774,6 +862,18 @@ def _cmd_load(args) -> int:
         print(f"bad --multipliers {args.multipliers!r}: expected "
               "comma-separated numbers", file=sys.stderr)
         return 2
+    # Read the baseline before the run (and before --output lands), so
+    # CI can regress a fresh sweep against the committed file even
+    # when both flags name BENCH_load.json.
+    baseline = None
+    if args.baseline is not None:
+        from .perf import load_baseline, load_throughputs
+
+        try:
+            baseline = load_throughputs(load_baseline(args.baseline))
+        except ValidationError as error:
+            print(f"bad --baseline: {error}", file=sys.stderr)
+            return 2
     try:
         spec = LoadSpec(
             arrival=ArrivalSpec(
@@ -810,6 +910,148 @@ def _cmd_load(args) -> int:
               "dishonest hints, or the sweep never reached 2x "
               "capacity)", file=sys.stderr)
         return 1
+    if baseline is not None:
+        from .perf import compare_throughputs, load_throughputs
+
+        try:
+            regressions = compare_throughputs(
+                load_throughputs(report.as_dict()), baseline,
+                tolerance=args.tolerance,
+            )
+        except ValidationError as error:
+            print(f"bad --tolerance: {error}", file=sys.stderr)
+            return 2
+        if regressions:
+            print(f"\nFAIL: served rate regressed vs {args.baseline}",
+                  file=sys.stderr)
+            for regression in regressions:
+                print(f"  {regression.render()}", file=sys.stderr)
+            return 1
+        print(f"no served-rate regression vs {args.baseline} "
+              f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
+def _cmd_slo(args) -> int:
+    import json
+    import pathlib
+
+    from .sim import SloRunSpec, run_slo
+    from .telemetry import write_flamegraph
+    from .util.errors import SimulationError, ValidationError
+
+    try:
+        spec = SloRunSpec(
+            scenario=args.scenario,
+            multiplier=args.multiplier,
+            rate_per_s=args.rate,
+            horizon_s=args.horizon,
+            seed=args.seed,
+            scheduler_seed=args.scheduler_seed,
+            telemetry_seed=args.telemetry_seed,
+            interval_s=args.interval,
+            severity=args.severity,
+            brownout_start_s=args.brownout_start,
+            brownout_duration_s=args.brownout_duration,
+        )
+        report = run_slo(spec)
+    except (SimulationError, ValidationError) as error:
+        print(f"bad slo run: {error}", file=sys.stderr)
+        return 2
+    artifacts = []
+    if args.timeseries is not None and report.recorder is not None:
+        written = report.recorder.write_jsonl(args.timeseries)
+        artifacts.append(f"{written} lines -> {args.timeseries}")
+    if args.flamegraph is not None:
+        lines = write_flamegraph(
+            args.flamegraph, {args.scenario: report.paths}
+        )
+        artifacts.append(f"{lines} stacks -> {args.flamegraph}")
+    if args.report is not None:
+        pathlib.Path(args.report).write_text(
+            json.dumps(report.as_dict(), sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        artifacts.append(f"report -> {args.report}")
+    if args.json:
+        print(json.dumps(report.as_dict(), sort_keys=True, indent=2))
+    else:
+        print(report.slo.render())
+        print()
+        print(report.profile.render())
+        for note in artifacts:
+            print(f"[{note}]")
+    if report.breached:
+        print(f"\nWARNING: SLO breach on the {args.scenario} scenario "
+              "(burn-rate page or exhausted error budget)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    import json
+
+    from .sim import ArrivalSpec, LoadSpec, run_load_cell_instrumented
+    from .telemetry import (
+        extract_critical_paths,
+        profile_spans,
+        write_flamegraph,
+    )
+    from .util.errors import SimulationError, ValidationError
+
+    try:
+        multipliers = tuple(
+            float(part) for part in args.multipliers.split(",") if part
+        )
+    except ValueError:
+        print(f"bad --multipliers {args.multipliers!r}: expected "
+              "comma-separated numbers", file=sys.stderr)
+        return 2
+    try:
+        spec = LoadSpec(
+            arrival=ArrivalSpec(
+                kind="poisson",
+                rate_per_s=args.rate,
+                horizon_s=args.horizon,
+            ),
+            seed=args.seed,
+            scheduler_seed=args.scheduler_seed,
+            telemetry_seed=args.telemetry_seed,
+            multipliers=multipliers,
+        )
+    except (SimulationError, ValidationError) as error:
+        print(f"bad profile run: {error}", file=sys.stderr)
+        return 2
+    sections = {}
+    documents = {}
+    for multiplier in multipliers:
+        try:
+            run = run_load_cell_instrumented(
+                spec, multiplier, collect_spans=True
+            )
+        except (SimulationError, ValidationError) as error:
+            print(f"bad profile run at x{multiplier:g}: {error}",
+                  file=sys.stderr)
+            return 2
+        profile = profile_spans(run.spans)
+        section = f"x{multiplier:g}"
+        sections[section] = extract_critical_paths(run.spans)
+        documents[section] = profile.as_dict()
+        if not args.json:
+            print(profile.render())
+            bottleneck = profile.top_bottleneck
+            if bottleneck is not None:
+                print(f"x{multiplier:g}: top bottleneck {bottleneck} "
+                      f"({profile.share(bottleneck) * 100:.1f}% of "
+                      f"{profile.total_s:.3f}s)")
+            print()
+    if args.json:
+        print(json.dumps(documents, sort_keys=True, indent=2))
+    if args.flamegraph is not None:
+        lines = write_flamegraph(args.flamegraph, sections)
+        if not args.json:
+            print(f"[{lines} stacks -> {args.flamegraph}]")
     return 0
 
 
@@ -878,6 +1120,8 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         "stats": _cmd_stats,
         "storm": _cmd_storm,
         "load": _cmd_load,
+        "slo": _cmd_slo,
+        "profile": _cmd_profile,
         "experiments": _cmd_experiments,
         "bench": _cmd_bench,
         "report": _cmd_report,

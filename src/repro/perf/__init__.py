@@ -6,9 +6,18 @@ exploits that purity.  :mod:`repro.perf.cache` memoises the expensive
 pure prefixes (offer spaces, classification arrays) across requests;
 :mod:`repro.perf.fingerprint` provides the value-identity keys;
 :mod:`repro.perf.bench` measures the result and writes the repo's
-benchmark trajectory point (``BENCH_negotiation.json``).
+benchmark trajectory point (``BENCH_negotiation.json``);
+:mod:`repro.perf.baseline` regresses a fresh report against the
+committed one, the CI bench-regression gate.
 """
 
+from .baseline import (
+    Regression,
+    bench_throughputs,
+    compare_throughputs,
+    load_baseline,
+    load_throughputs,
+)
 from .cache import CacheStats, NegotiationCache
 from .fingerprint import (
     client_fingerprint,
@@ -21,6 +30,11 @@ from .fingerprint import (
 __all__ = [
     "CacheStats",
     "NegotiationCache",
+    "Regression",
+    "bench_throughputs",
+    "compare_throughputs",
+    "load_baseline",
+    "load_throughputs",
     "client_fingerprint",
     "cost_model_fingerprint",
     "importance_fingerprint",

@@ -1,0 +1,123 @@
+"""Benchmark regression gate: a fresh report vs. a committed baseline.
+
+The repo commits its benchmark trajectory (``BENCH_negotiation.json``,
+``BENCH_load.json``); CI re-measures and refuses a merge whose fresh
+throughput drops more than ``tolerance`` below any committed number.
+The comparison is *keyed*, not positional — a cell present only on one
+side (a ``--quick`` run against a full-matrix baseline, a different
+multiplier sweep) is skipped, never treated as a regression — and
+one-sided: faster is always fine.
+
+Two extractors flatten the report shapes into ``key -> throughput``
+maps: per ``(variants, axes, config)`` cell for the negotiation bench,
+per load multiplier for the service sweep.  The wall-clock bench needs
+the tolerance headroom for machine noise; the load sweep runs in
+simulated time, so its rates only move when behaviour does — the same
+gate then catches *real* capacity regressions exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..util.errors import ValidationError
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "Regression",
+    "bench_throughputs",
+    "compare_throughputs",
+    "load_baseline",
+    "load_throughputs",
+]
+
+DEFAULT_TOLERANCE = 0.20
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric that fell below the tolerated floor."""
+
+    key: str
+    baseline: float
+    fresh: float
+    tolerance: float
+
+    @property
+    def drop(self) -> float:
+        """Fractional drop below the baseline (0.25 = 25% slower)."""
+        if self.baseline <= 0.0:
+            return 0.0
+        return 1.0 - self.fresh / self.baseline
+
+    def render(self) -> str:
+        return (
+            f"{self.key}: {self.fresh:.2f}/s is {self.drop:.0%} below "
+            f"the baseline {self.baseline:.2f}/s "
+            f"(tolerance {self.tolerance:.0%})"
+        )
+
+
+def load_baseline(path: str) -> "dict[str, object]":
+    """Read a committed ``BENCH_*.json`` report."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise ValidationError(f"unreadable baseline {path}: {error}")
+    if not isinstance(document, dict):
+        raise ValidationError(f"baseline {path} is not a report object")
+    return document
+
+
+def bench_throughputs(report: Mapping) -> "dict[str, float]":
+    """``variants^axes/config -> negotiations_per_s`` from a
+    ``bench-negotiation/v1`` report."""
+    throughputs: "dict[str, float]" = {}
+    for cell in report.get("cells", ()):
+        shape = f"{cell['variants']}^{cell['axes']}"
+        for label, metrics in cell["configs"].items():
+            throughputs[f"{shape}/{label}"] = float(
+                metrics["negotiations_per_s"]
+            )
+    return throughputs
+
+
+def load_throughputs(report: Mapping) -> "dict[str, float]":
+    """``x<multiplier> -> served_rate_per_s`` from a load-sweep
+    report."""
+    return {
+        f"x{cell['multiplier']:g}": float(cell["served_rate_per_s"])
+        for cell in report.get("cells", ())
+    }
+
+
+def compare_throughputs(
+    fresh: "Mapping[str, float]",
+    baseline: "Mapping[str, float]",
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> "tuple[Regression, ...]":
+    """Every key on both sides whose fresh throughput fell below
+    ``(1 - tolerance) * baseline``, in sorted key order."""
+    if not 0.0 <= tolerance < 1.0:
+        raise ValidationError(
+            f"tolerance must be in [0, 1), got {tolerance}"
+        )
+    regressions = []
+    for key in sorted(baseline):
+        if key not in fresh:
+            continue
+        floor = (1.0 - tolerance) * baseline[key]
+        if fresh[key] < floor:
+            regressions.append(
+                Regression(
+                    key=key,
+                    baseline=baseline[key],
+                    fresh=fresh[key],
+                    tolerance=tolerance,
+                )
+            )
+    return tuple(regressions)

@@ -40,6 +40,13 @@ from ..metadata.database import MetadataDatabase
 from ..network.topology import Topology
 from ..network.transport import TransportSystem
 from ..util.clock import ManualClock
+from ..util.errors import ValidationError
+from .baseline import (
+    DEFAULT_TOLERANCE,
+    bench_throughputs,
+    compare_throughputs,
+    load_baseline,
+)
 from .cache import NegotiationCache
 
 __all__ = [
@@ -324,9 +331,30 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         help="also fail when the 6-axis streaming+cache speedup is "
         "below the threshold (only meaningful on quiet machines)",
     )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="committed BENCH_negotiation.json to regress against; "
+        "fail when any shared cell/config drops below the tolerance",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        metavar="F",
+        help="tolerated fractional throughput drop vs the baseline "
+        "(default %(default)s)",
+    )
 
 
 def run_bench_command(args: argparse.Namespace) -> int:
+    # Read the baseline before the run (and before --output lands):
+    # CI regresses a fresh measurement against the *committed* file
+    # even when both flags name the same path.
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = bench_throughputs(load_baseline(args.baseline))
+        except ValidationError as error:
+            print(f"bad --baseline: {error}")
+            return 2
     report = run_bench(quick=args.quick, rounds=args.rounds)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
@@ -360,6 +388,22 @@ def run_bench_command(args: argparse.Namespace) -> int:
     if args.require_speedup and not summary["six_axis_speedup_ok"]:
         print("FAIL: 6-axis speedup below threshold")
         return 1
+    if baseline is not None:
+        try:
+            regressions = compare_throughputs(
+                bench_throughputs(report), baseline,
+                tolerance=args.tolerance,
+            )
+        except ValidationError as error:
+            print(f"bad --baseline: {error}")
+            return 2
+        if regressions:
+            print(f"FAIL: throughput regressed vs {args.baseline}")
+            for regression in regressions:
+                print(f"  {regression.render()}")
+            return 1
+        print(f"no throughput regression vs {args.baseline} "
+              f"(tolerance {args.tolerance:.0%})")
     return 0
 
 

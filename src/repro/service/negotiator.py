@@ -148,6 +148,9 @@ class ServiceRequest:
     client_id: str
     document_id: str
     submitted_at: float
+    started_at: "float | None" = None
+    reparked_at: "float | None" = None
+    context: "tuple[str, str] | None" = None
     result: "NegotiationResult | None" = None
     finished_at: "float | None" = None
     overrun: bool = False
@@ -229,6 +232,12 @@ class NegotiationService:
         )
         self.requests.append(request)
         self._inflight += 1
+        if self.telemetry.enabled:
+            # Pre-allocate the request's trace identity: children (gate
+            # wait, plan, step-5 attempts) land under it while the walk
+            # is in flight; the root span itself is emitted at verdict
+            # delivery (the profiler's critical-path input).
+            request.context = self.telemetry.tracer.new_context()
         self.telemetry.metrics.gauge_set(
             "service.inflight", float(self._inflight)
         )
@@ -257,8 +266,29 @@ class NegotiationService:
         done: "Callable[[NegotiationResult], None]",
     ) -> None:
         def finished(handle: TaskHandle) -> None:
+            # The gate may re-park the request on an FTL verdict; the
+            # next dispatch's gate.wait span starts here, not at
+            # submission, so park intervals stay disjoint and their sum
+            # never exceeds the root span.
+            request.reparked_at = self.loop.now
             done(handle.result)
 
+        request.started_at = self.loop.now
+        if request.context is not None and self.gate is not None:
+            # Gate park time: enqueue (submission, or re-park after an
+            # FTL verdict) → dispatch; 0 when admitted on the spot.
+            parked_since = (
+                request.reparked_at
+                if request.reparked_at is not None
+                else request.submitted_at
+            )
+            self.telemetry.tracer.emit(
+                "service.gate.wait",
+                start_s=parked_since,
+                end_s=request.started_at,
+                parent=request.context,
+                attributes={"label": request.label},
+            )
         request.task = self.scheduler.spawn(
             f"negotiation:{request.label}",
             self._negotiation_task(request, document_id, profile, client),
@@ -280,6 +310,18 @@ class NegotiationService:
         telemetry.observe(
             "service.verdict.wait_s", request.verdict_wait_s or 0.0
         )
+        if request.context is not None:
+            telemetry.tracer.emit(
+                "service.negotiation",
+                start_s=request.submitted_at,
+                end_s=request.finished_at,
+                context=request.context,
+                attributes={
+                    "label": request.label,
+                    "status": str(result.status),
+                    "overrun": request.overrun,
+                },
+            )
 
     # -- the cooperative procedure -------------------------------------------------
 
@@ -307,6 +349,15 @@ class NegotiationService:
         plan = manager.plan(
             document_id, profile, client, max_offers=policy.max_offers
         )
+        if request.context is not None:
+            # Steps 1–4: the Sleep(plan_s) charge plus the atomic plan.
+            telemetry.tracer.emit(
+                "service.plan",
+                start_s=started,
+                end_s=self.loop.now,
+                parent=request.context,
+                attributes={"early": plan.early is not None},
+            )
         if plan.early is not None:
             return plan.early
         assert plan.space is not None
@@ -370,6 +421,7 @@ class NegotiationService:
                     "negotiation.step5.attempt",
                     start_s=attempt_started,
                     end_s=self.loop.now,
+                    parent=request.context,
                     attributes={
                         "offer_id": candidate.offer.offer_id,
                         "holder": holder,

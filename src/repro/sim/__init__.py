@@ -14,6 +14,7 @@ from .chaos import ChaosReport, ChaosSpec, run_chaos
 from .experiment import RunConfig, run_workload
 from .load import (
     ArrivalSpec,
+    CellRun,
     LoadCellReport,
     LoadReport,
     LoadSpec,
@@ -21,8 +22,10 @@ from .load import (
     jain_index,
     run_load,
     run_load_cell,
+    run_load_cell_instrumented,
 )
 from .recover import CrashRecoveryReport, CrashRecoverySpec, run_crash_recovery
+from .slo import SLO_SCENARIOS, SloRunReport, SloRunSpec, run_slo
 from .metrics import RunStats, StatusCounts, UtilizationIntegral
 from .scenario import Scenario, ScenarioSpec, build_scenario
 from .storm import (
@@ -52,6 +55,7 @@ __all__ = [
     "RunConfig",
     "run_workload",
     "ArrivalSpec",
+    "CellRun",
     "LoadCellReport",
     "LoadReport",
     "LoadSpec",
@@ -59,6 +63,11 @@ __all__ = [
     "jain_index",
     "run_load",
     "run_load_cell",
+    "run_load_cell_instrumented",
+    "SLO_SCENARIOS",
+    "SloRunReport",
+    "SloRunSpec",
+    "run_slo",
     "RunStats",
     "StatusCounts",
     "UtilizationIntegral",

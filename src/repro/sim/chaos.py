@@ -56,6 +56,8 @@ class ChaosSpec:
     supervisor_period_s: float = 5.0
     telemetry_seed: "int | None" = None  # None = observability off
     telemetry_jsonl: "str | None" = None  # trace JSONL output path
+    timeseries_jsonl: "str | None" = None  # flight-recorder output path
+    timeseries_interval_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.requests < 1:
@@ -94,6 +96,7 @@ class ChaosReport:
     supervisor_releases: int = 0
     journal_records: int = 0
     fault_stats: dict[str, float] = field(default_factory=dict)
+    timeline: dict[str, object] = field(default_factory=dict)
     leaked_streams: int = 0
     leaked_flows: int = 0
     leaked_bps: float = 0.0
@@ -184,6 +187,23 @@ def run_chaos(spec: ChaosSpec) -> "tuple[ChaosReport, Scenario]":
 
         exporter = JsonlSpanExporter(spec.telemetry_jsonl)
         scenario.telemetry.tracer.add_exporter(exporter)
+    recorder = None
+    if scenario.telemetry is not None and scenario.telemetry.enabled:
+        from ..telemetry.timeseries import FlightRecorder
+
+        recorder = FlightRecorder(
+            scenario.telemetry, interval_s=spec.timeseries_interval_s
+        )
+        # Bound at the submission window plus the supervisor's patience
+        # — everything after that is drain, captured by finish().
+        recorder.arm(
+            scenario.loop,
+            until=(
+                scenario.loop.now
+                + spec.requests * spec.request_spacing_s
+                + spec.supervisor_timeout_s
+            ),
+        )
     injector = FaultInjector(
         spec.plan,
         clock=scenario.clock,
@@ -323,6 +343,11 @@ def run_chaos(spec: ChaosSpec) -> "tuple[ChaosReport, Scenario]":
     )
     report.leaked_flows = scenario.transport.flow_count
     report.leaked_bps = scenario.topology.total_reserved_bps()
+    if recorder is not None:
+        recorder.finish(scenario.clock.now())
+        report.timeline = recorder.as_dict()
+        if spec.timeseries_jsonl is not None:
+            recorder.write_jsonl(spec.timeseries_jsonl)
     if exporter is not None:
         exporter.close()
     return report, scenario

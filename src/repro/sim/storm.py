@@ -96,6 +96,8 @@ class StormSpec:
     extra_faults: "tuple[FaultSpec, ...]" = ()
     telemetry_seed: "int | None" = None   # None = observability off
     telemetry_jsonl: "str | None" = None  # trace JSONL output path
+    timeseries_jsonl: "str | None" = None  # flight-recorder output path
+    timeseries_interval_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.sessions < 1:
@@ -179,6 +181,7 @@ class StormReport:
     journal_open_holders: int = 0
     metrics_match: "bool | None" = None  # None = telemetry off
     fault_stats: "dict[str, float]" = field(default_factory=dict)
+    timeline: "dict[str, object]" = field(default_factory=dict)
     leaked_streams: int = 0
     leaked_flows: int = 0
     leaked_bps: float = 0.0
@@ -237,6 +240,7 @@ class StormReport:
             "journal_open_holders": self.journal_open_holders,
             "metrics_match": self.metrics_match,
             "fault_stats": dict(self.fault_stats),
+            "timeline": dict(self.timeline),
             "leaked_streams": self.leaked_streams,
             "leaked_flows": self.leaked_flows,
             "leaked_bps": self.leaked_bps,
@@ -418,6 +422,24 @@ def run_storm(spec: StormSpec) -> "tuple[StormReport, Scenario]":
 
         exporter = JsonlSpanExporter(spec.telemetry_jsonl)
         scenario.telemetry.tracer.add_exporter(exporter)
+    recorder = None
+    if scenario.telemetry is not None and scenario.telemetry.enabled:
+        from ..telemetry.timeseries import FlightRecorder
+
+        recorder = FlightRecorder(
+            scenario.telemetry, interval_s=spec.timeseries_interval_s
+        )
+        # Bound the sampler at the storm's active phase (ramp + the
+        # brownout window + a recovery margin); the loop then drains
+        # and finish() captures the settled end state.
+        recorder.arm(
+            scenario.loop,
+            until=(
+                max(spec.ramp_s, spec.brownout_start_s)
+                + spec.brownout_duration_s
+                + spec.supervisor_timeout_s
+            ),
+        )
     injector = FaultInjector(
         spec.plan(),
         clock=scenario.clock,
@@ -593,6 +615,11 @@ def run_storm(spec: StormSpec) -> "tuple[StormReport, Scenario]":
     report.leaked_flows = scenario.transport.flow_count
     report.leaked_bps = scenario.topology.total_reserved_bps()
     report.duration_s = scenario.clock.now()
+    if recorder is not None:
+        recorder.finish(scenario.clock.now())
+        report.timeline = recorder.as_dict()
+        if spec.timeseries_jsonl is not None:
+            recorder.write_jsonl(spec.timeseries_jsonl)
     if exporter is not None:
         exporter.close()
     return report, scenario

@@ -171,6 +171,11 @@ class _Pending:
     retries_left: int
     start: "Start | None" = None
     last_hint_s: "float | None" = None
+    parked_at: float = 0.0
+    """When the request last entered the gate's control (submission,
+    or the FTL verdict that re-parked it) — the base of the per-dispatch
+    ``storm.gate.wait_s`` observation, so waits never double-count the
+    time an earlier attempt spent negotiating."""
 
 
 class AdmissionGate:
@@ -229,6 +234,7 @@ class AdmissionGate:
             deliver=deliver,
             submitted_at=self.loop.now,
             retries_left=self.policy.retry_limit,
+            parked_at=self.loop.now,
         )
         if not self.enabled:
             # Passthrough: the thundering herd, measured for comparison.
@@ -258,6 +264,7 @@ class AdmissionGate:
             submitted_at=self.loop.now,
             retries_left=self.policy.retry_limit,
             start=start,
+            parked_at=self.loop.now,
         )
         if not self.enabled:
             self.stats.admitted += 1
@@ -282,6 +289,9 @@ class AdmissionGate:
             self._shed(pending)
 
     def _run(self, pending: _Pending) -> None:
+        self.telemetry.observe(
+            "storm.gate.wait_s", self.loop.now - pending.parked_at
+        )
         if pending.start is not None:
             pending.start(
                 lambda result: self._on_result(pending, result)
@@ -301,6 +311,7 @@ class AdmissionGate:
             # Honour the manager's own hint (breaker quarantine expiry
             # when one is open) instead of guessing.
             pending.retries_left -= 1
+            pending.parked_at = self.loop.now
             self.stats.requeued_try_later += 1
             self.telemetry.count("storm.gate.retries")
             hint = result.retry_after_s or self.policy.min_retry_delay_s

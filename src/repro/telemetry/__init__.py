@@ -33,14 +33,42 @@ from .export import (
     render_span_tree,
 )
 from .instrument import observe_breaker, traced
-from .metrics import HistogramState, MetricsRegistry, format_metric_key
+from .metrics import (
+    HistogramState,
+    MetricsRegistry,
+    format_metric_key,
+    parse_metric_key,
+)
+from .profiler import (
+    CriticalPath,
+    ProfileReport,
+    extract_critical_paths,
+    folded_stacks,
+    profile_spans,
+    write_flamegraph,
+)
 from .report import (
     AttemptSummary,
     NegotiationReport,
     StepSummary,
     reconcile_journal,
 )
+from .slo import (
+    BurnAlert,
+    BurnRatePolicy,
+    EventSelector,
+    SloReport,
+    SloResult,
+    SloSpec,
+    default_slos,
+    evaluate_slos,
+)
 from .spans import Span, SpanStatus
+from .timeseries import (
+    FlightRecorder,
+    TimeSeriesDump,
+    read_timeseries_jsonl,
+)
 from .tracer import NULL_SPAN, SpanExporter, Tracer
 
 __all__ = [
@@ -58,6 +86,24 @@ __all__ = [
     "HistogramState",
     "MetricsRegistry",
     "format_metric_key",
+    "parse_metric_key",
+    "CriticalPath",
+    "ProfileReport",
+    "extract_critical_paths",
+    "folded_stacks",
+    "profile_spans",
+    "write_flamegraph",
+    "BurnAlert",
+    "BurnRatePolicy",
+    "EventSelector",
+    "SloReport",
+    "SloResult",
+    "SloSpec",
+    "default_slos",
+    "evaluate_slos",
+    "FlightRecorder",
+    "TimeSeriesDump",
+    "read_timeseries_jsonl",
     "AttemptSummary",
     "NegotiationReport",
     "StepSummary",

@@ -180,6 +180,11 @@ METRICS: "tuple[MetricSpec, ...]" = (
                "cooperative yield points consumed by one negotiation's "
                "step-5 walk",
                (0.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)),
+    _histogram("storm.gate.wait_s", "seconds",
+               "simulated time a request spent parked in the admission "
+               "gate's retry queue before dispatch (0 when admitted "
+               "immediately)",
+               (0.0, 0.5, 1.0, 2.0, 5.0, 15.0, 30.0, 60.0, 120.0)),
 )
 
 CATALOG: "dict[str, MetricSpec]" = {spec.name: spec for spec in METRICS}

@@ -17,7 +17,12 @@ from ..util.errors import TelemetryError
 from ..util.tables import render_table
 from .catalog import CATALOG, MetricKind, MetricSpec
 
-__all__ = ["HistogramState", "MetricsRegistry", "format_metric_key"]
+__all__ = [
+    "HistogramState",
+    "MetricsRegistry",
+    "format_metric_key",
+    "parse_metric_key",
+]
 
 
 def format_metric_key(name: str, label_value: "str | None") -> str:
@@ -26,6 +31,27 @@ def format_metric_key(name: str, label_value: "str | None") -> str:
         return name
     spec = CATALOG[name]
     return f"{name}{{{spec.label}={label_value}}}"
+
+
+def parse_metric_key(key: str) -> "tuple[str, str | None]":
+    """Invert :func:`format_metric_key`: ``(name, label_value)``.
+
+    Catalog names never contain ``{``, so the first brace splits name
+    from label unambiguously — a labelled key can never collide with an
+    unlabelled key of another metric.  The label *value* may contain
+    ``=``, ``{`` or ``}``; only the first ``=`` inside the braces and
+    the final ``}`` are structural.
+    """
+    brace = key.find("{")
+    if brace < 0:
+        return key, None
+    if not key.endswith("}"):
+        raise TelemetryError(f"malformed metric key {key!r}")
+    inner = key[brace + 1:-1]
+    _label, sep, value = inner.partition("=")
+    if not sep:
+        raise TelemetryError(f"malformed metric key {key!r}")
+    return key[:brace], value
 
 
 class HistogramState:
@@ -48,6 +74,36 @@ class HistogramState:
                 self.counts[index] += 1
                 return
         self.overflow += 1
+
+    def quantile(self, q: float) -> float:
+        """Deterministic quantile estimate from the fixed buckets.
+
+        Linear interpolation within the bucket that holds the q-rank;
+        an empty histogram answers ``0.0`` and any rank that lands in
+        the overflow region clamps to the highest bound (the histogram
+        cannot know more than its buckets).  Monotone in ``q`` and a
+        pure function of the counts, so same-seed runs serialize the
+        same estimates byte-for-byte.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise TelemetryError(f"quantile must be in [0, 1], got {q!r}")
+        if self.total == 0:
+            return 0.0
+        rank = q * self.total
+        cumulative = 0
+        for index, bound in enumerate(self.buckets):
+            count = self.counts[index]
+            if count == 0:
+                continue
+            previous = cumulative
+            cumulative += count
+            if rank <= cumulative:
+                lower = self.buckets[index - 1] if index > 0 else bound
+                fraction = (rank - previous) / count
+                # min() guards the last float rounding step: lower +
+                # (bound - lower) can land one ulp above bound.
+                return min(bound, lower + (bound - lower) * min(1.0, fraction))
+        return self.buckets[-1] if self.buckets else 0.0
 
     def as_dict(self) -> "dict[str, Any]":
         data: "dict[str, Any]" = {

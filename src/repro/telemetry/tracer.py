@@ -15,6 +15,7 @@ from contextlib import contextmanager
 from typing import Any, Iterator, Protocol
 
 from ..util.clock import ManualClock
+from ..util.errors import TelemetryError
 from ..util.rng import make_rng
 from .spans import Span, SpanStatus
 
@@ -143,6 +144,22 @@ class Tracer:
         finally:
             self.end_span(span)
 
+    def new_context(self) -> "tuple[str, str]":
+        """Pre-allocate a ``(trace_id, span_id)`` for a root span that
+        will be emitted *later* via :meth:`emit` with ``context=``.
+
+        Cooperative tasks need this: a negotiation's children (gate
+        wait, plan, step-5 attempts) finish while the request is still
+        in flight, long before the root's end time is known — and the
+        stack-based :meth:`span` cannot stay open across task switches
+        without capturing unrelated tasks' spans.  Children emitted
+        with ``parent=context`` accumulate under the trace until the
+        root lands.
+        """
+        trace_id, span_id = self._new_id(), self._new_id()
+        self._open_traces.setdefault(trace_id, [])
+        return trace_id, span_id
+
     def emit(
         self,
         name: str,
@@ -150,23 +167,35 @@ class Tracer:
         start_s: float,
         end_s: float,
         parent: "tuple[str, str] | None" = None,
+        context: "tuple[str, str] | None" = None,
         status: str = SpanStatus.OK,
         attributes: "dict[str, Any] | None" = None,
     ) -> "Span | _NullSpan":
         """Record a manually-timed span (confirmation waits, breaker
         open windows — intervals whose end is observed after the
         enclosing trace closed).  ``parent`` is a ``(trace_id,
-        span_id)`` context, e.g. from :meth:`root_context`."""
+        span_id)`` context, e.g. from :meth:`root_context`; ``context``
+        instead makes this span the *root* carrying the pre-allocated
+        identity from :meth:`new_context`, closing that trace."""
         if not self.enabled:
             return NULL_SPAN
-        if parent is not None:
+        if context is not None and parent is not None:
+            raise TelemetryError(
+                "emit takes parent= or context=, not both"
+            )
+        if context is not None:
+            trace_id, span_id = context
+            parent_id = None
+        elif parent is not None:
             trace_id, parent_id = parent
+            span_id = self._new_id()
         else:
             trace_id, parent_id = self._new_id(), None
+            span_id = self._new_id()
         span = Span(
             name=name,
             trace_id=trace_id,
-            span_id=self._new_id(),
+            span_id=span_id,
             parent_id=parent_id,
             start_s=start_s,
             end_s=end_s,
@@ -176,9 +205,15 @@ class Tracer:
         )
         bucket = self._open_traces.get(trace_id)
         if bucket is not None:
-            bucket.append(span)
+            if context is not None:
+                bucket.insert(0, span)
+            else:
+                bucket.append(span)
         for exporter in self._exporters:
             exporter.export(span)
+        if context is not None:
+            finished = self._open_traces.pop(trace_id, [span])
+            self._last_trace = tuple(finished)
         return span
 
     # -- context -------------------------------------------------------------------

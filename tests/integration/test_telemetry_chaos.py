@@ -7,6 +7,8 @@ source of truth — the journal, the breaker, the committer stats — so a
 drifting instrument fails loudly.
 """
 
+from dataclasses import replace
+
 import pytest
 
 from repro.faults import FaultPlan, RetryPolicy, parse_fault_spec
@@ -124,4 +126,9 @@ class TestTraceArtifact:
                 lease_ttl_s=120.0,
             )
         )
-        assert plain_report == report
+        # The flight-recorder timeline IS telemetry output — present
+        # exactly when telemetry is on.  Outcome equality is
+        # everything else.
+        assert plain_report.timeline == {}
+        assert report.timeline
+        assert plain_report == replace(report, timeline={})

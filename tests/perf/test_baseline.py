@@ -1,0 +1,104 @@
+"""The bench-regression gate: keyed, one-sided, tolerance-floored."""
+
+import json
+
+import pytest
+
+from repro.perf import (
+    bench_throughputs,
+    compare_throughputs,
+    load_baseline,
+    load_throughputs,
+)
+from repro.util.errors import ValidationError
+
+BENCH_REPORT = {
+    "schema": "bench-negotiation/v1",
+    "cells": [
+        {
+            "variants": 2, "axes": 2,
+            "configs": {
+                "full": {"negotiations_per_s": 100.0},
+                "stream": {"negotiations_per_s": 400.0},
+            },
+        },
+        {
+            "variants": 4, "axes": 6,
+            "configs": {"full": {"negotiations_per_s": 8.0}},
+        },
+    ],
+}
+
+LOAD_REPORT = {
+    "cells": [
+        {"multiplier": 0.5, "served_rate_per_s": 0.52},
+        {"multiplier": 2.0, "served_rate_per_s": 1.94},
+    ],
+}
+
+
+class TestExtractors:
+    def test_bench_keys_by_shape_and_config(self):
+        assert bench_throughputs(BENCH_REPORT) == {
+            "2^2/full": 100.0,
+            "2^2/stream": 400.0,
+            "4^6/full": 8.0,
+        }
+
+    def test_load_keys_by_multiplier(self):
+        assert load_throughputs(LOAD_REPORT) == {
+            "x0.5": 0.52, "x2": 1.94,
+        }
+
+
+class TestCompare:
+    BASELINE = {"a": 100.0, "b": 10.0}
+
+    def test_within_tolerance_passes(self):
+        fresh = {"a": 81.0, "b": 10.0}
+        assert compare_throughputs(fresh, self.BASELINE) == ()
+
+    def test_past_tolerance_fails_with_the_drop_named(self):
+        fresh = {"a": 79.0, "b": 10.0}
+        (regression,) = compare_throughputs(fresh, self.BASELINE)
+        assert regression.key == "a"
+        assert regression.drop == pytest.approx(0.21)
+        assert "21% below" in regression.render()
+
+    def test_faster_is_always_fine(self):
+        assert compare_throughputs({"a": 500.0}, self.BASELINE) == ()
+
+    def test_comparison_is_keyed_not_positional(self):
+        # A quick run vs the full-matrix baseline: cells on one side
+        # only are skipped, never treated as regressions.
+        assert compare_throughputs({"c": 0.001}, self.BASELINE) == ()
+
+    def test_zero_baseline_never_regresses(self):
+        assert compare_throughputs({"a": 0.0}, {"a": 0.0}) == ()
+
+    def test_bad_tolerance_is_rejected(self):
+        with pytest.raises(ValidationError, match="tolerance"):
+            compare_throughputs({}, {}, tolerance=1.5)
+
+
+class TestLoadBaseline:
+    def test_round_trips_a_committed_report(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps(BENCH_REPORT), encoding="utf-8")
+        assert load_baseline(str(path)) == BENCH_REPORT
+
+    def test_missing_file_is_a_validation_error(self, tmp_path):
+        with pytest.raises(ValidationError, match="unreadable"):
+            load_baseline(str(tmp_path / "nope.json"))
+
+    def test_non_object_payload_is_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]", encoding="utf-8")
+        with pytest.raises(ValidationError, match="not a report"):
+            load_baseline(str(path))
+
+    def test_the_committed_baselines_parse(self):
+        # The repo's own trajectory points stay loadable.
+        bench = bench_throughputs(load_baseline("BENCH_negotiation.json"))
+        load = load_throughputs(load_baseline("BENCH_load.json"))
+        assert bench and load
