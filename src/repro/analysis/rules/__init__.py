@@ -15,6 +15,7 @@ REP008    offer immutability (Offer dataclasses must be frozen)
 REP009    typed core: full annotations in core/faults/analysis
 REP010    journaled transition: no unlogged commitment state flips
 REP011    no naked timing; metric names registered in the catalog
+REP018    shared negotiation cache: construct via shared_cache()
 ========  ==========================================================
 
 The whole-program rules (REP012..REP017 — interprocedural leak paths,
@@ -36,6 +37,7 @@ from . import (  # noqa: F401  (imports register the rules)
     journaled,
     naked_timing,
     pairing,
+    sharedcache,
     taxonomy,
     typedcore,
 )
@@ -50,6 +52,7 @@ __all__ = [
     "journaled",
     "naked_timing",
     "pairing",
+    "sharedcache",
     "taxonomy",
     "typedcore",
 ]

@@ -46,6 +46,19 @@ class QoSMapper:
         check_positive(self.discrete_window_s, "discrete_window_s")
         check_positive(self.rate_scale, "rate_scale")
 
+    def fingerprint_state(self) -> object:
+        """Every value that can change a computed flow spec.
+
+        Negotiation cache keys hash this; a subclass that adds mapping
+        state must override it (extending the parent tuple) or its
+        cached spaces would collide with entries computed by other
+        mappers of the same class tree.  ``mapper_fingerprint`` guards
+        against forgotten overrides with a repr fallback, but an
+        explicit override keeps keys stable across cosmetic repr
+        changes.
+        """
+        return (self.discrete_window_s, self.rate_scale)
+
     # -- the §6 formulas -----------------------------------------------------------
 
     def continuous_rates(self, stats: BlockStats) -> tuple[float, float]:

@@ -316,17 +316,7 @@ class QoSManager:
             policy=policy, guarantee=guarantee,
             max_offers=max_offers, offer_mode=offer_mode,
         )
-        if plan.early is not None:
-            return plan.early
-        assert plan.space is not None
-        if plan.stream is not None:
-            return self._commit_stream(
-                plan.stream, plan.space, profile, client, guarantee,
-                offers_in=plan.offers_in,
-            )
-        return self._commit_best(
-            plan.classified, plan.space, profile, client, guarantee
-        )
+        return self.complete(plan, profile, client, guarantee=guarantee)
 
     def plan(
         self,
@@ -337,6 +327,7 @@ class QoSManager:
         policy: ClassificationPolicy | None = None,
         guarantee: GuaranteeType | None = None,
         max_offers: "int | None" = None,
+        offer_mode: "str | None" = None,
     ) -> NegotiationPlan:
         """Steps 1–4 only: classify without reserving anything.
 
@@ -345,9 +336,14 @@ class QoSManager:
         but never touches the shared server/transport ledgers, so it
         needs no yield points.  The returned plan feeds a cooperative
         step-5 walk (:meth:`ResourceCommitter.iter_commit` per
-        candidate).  Always plans eagerly: a lazy stream held across
-        scheduler switches would interleave its classification work
-        unpredictably with other negotiations' telemetry.
+        candidate).
+
+        ``offer_mode`` defaults to ``"full"`` (eager): a lazy stream
+        held across scheduler switches would interleave its
+        classification work unpredictably with other negotiations'
+        telemetry.  The batch engine passes ``"stream"`` explicitly for
+        spaces above the vectorization ceiling and immediately wraps
+        the stream in its own replayable buffer.
         """
         max_offers = check_top_k(max_offers, parameter="max_offers")
         if isinstance(document, str):
@@ -356,7 +352,37 @@ class QoSManager:
             document, profile, client,
             policy=policy or self.policy,
             guarantee=guarantee or self.guarantee,
-            max_offers=max_offers, offer_mode="full",
+            max_offers=max_offers,
+            offer_mode=self._check_offer_mode(offer_mode or "full"),
+        )
+
+    def complete(
+        self,
+        plan: NegotiationPlan,
+        profile: UserProfile,
+        client: ClientMachine,
+        *,
+        guarantee: GuaranteeType | None = None,
+    ) -> NegotiationResult:
+        """Step 5 from a prebuilt plan: the synchronous commitment walk.
+
+        The counterpart of :meth:`plan` for callers that plan once and
+        walk many times (the batch engine fans one class plan out to
+        every member).  ``negotiate`` is exactly ``plan`` + ``complete``
+        modulo telemetry wrapping, and the walk order here matches the
+        sequential procedure offer for offer.
+        """
+        guarantee = guarantee or self.guarantee
+        if plan.early is not None:
+            return plan.early
+        assert plan.space is not None
+        if plan.stream is not None:
+            return self._commit_stream(
+                plan.stream, plan.space, profile, client, guarantee,
+                offers_in=plan.offers_in,
+            )
+        return self._commit_best(
+            plan.classified, plan.space, profile, client, guarantee
         )
 
     def _plan_steps(

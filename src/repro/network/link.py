@@ -88,7 +88,16 @@ class Link:
     # -- reservations -------------------------------------------------------------
 
     def can_reserve(self, bit_rate: float) -> bool:
-        return bit_rate <= self.available_bps + 1e-9
+        # Inlined available_bps: this predicate runs for every link on
+        # every route probe, and the property chain costs more than the
+        # arithmetic.
+        available = (
+            self.capacity_bps * (1.0 - self._congestion)
+            - self._reserved_bps
+        )
+        if available < 0.0:
+            available = 0.0
+        return bit_rate <= available + 1e-9
 
     def reserve(self, bit_rate: float, holder: str) -> LinkReservation:
         check_positive(bit_rate, "bit_rate")

@@ -73,6 +73,19 @@ def find_route(
     if source == target:
         return Route(nodes=(source,), links=(), qos=PathQoS.identity())
 
+    # Link cost weights are static, so when no link is bandwidth-
+    # constrained the search graph below is exactly the full graph and
+    # the answer depends only on (source, target).  That is the hot
+    # case — commitment walks mostly run far from saturation — and the
+    # topology memoises it; any constrained link falls through to the
+    # full search.
+    unconstrained = topology.unconstrained_for(required_bps)
+    if unconstrained:
+        cached = topology.cached_route(source, target)
+        if cached is not None:
+            assert isinstance(cached, Route)
+            return cached
+
     def weight(a: str, b: str, data: dict) -> "float | None":
         link: Link = data["link"]
         if not link.can_reserve(required_bps):
@@ -88,7 +101,10 @@ def find_route(
             f"no path from {source!r} to {target!r} with "
             f"{required_bps:.0f} bps available"
         ) from None
-    return _route_from_nodes(topology, nodes)
+    route = _route_from_nodes(topology, nodes)
+    if unconstrained:
+        topology.store_route(source, target, route)
+    return route
 
 
 def find_route_any(topology: Topology, source: str, target: str) -> Route:

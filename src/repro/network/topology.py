@@ -25,6 +25,14 @@ class Topology:
     def __init__(self) -> None:
         self._graph = nx.Graph()
         self._links: dict[str, Link] = {}
+        # Memoised full-graph cheapest routes, keyed (source, target).
+        # Only consulted/filled while *no* link is bandwidth-constrained
+        # for the queried rate (see routing.find_route), because link
+        # cost weights are static: under that condition the constrained
+        # search graph is identical to the full graph, so the cached
+        # answer is exactly what Dijkstra would return.  Structural
+        # changes (new links) drop the memo wholesale.
+        self._route_cache: dict[tuple[str, str], object] = {}
 
     # -- construction -----------------------------------------------------------
 
@@ -40,6 +48,7 @@ class Topology:
             )
         self._links[link.link_id] = link
         self._graph.add_edge(link.a, link.b, link=link)
+        self._route_cache.clear()
         return link
 
     def connect(
@@ -100,6 +109,22 @@ class Topology:
 
     def iter_links(self) -> Iterator[Link]:
         return iter(self._links.values())
+
+    # -- route memoisation ---------------------------------------------------------
+
+    def unconstrained_for(self, required_bps: float) -> bool:
+        """True when every link can still reserve ``required_bps`` —
+        i.e. the bandwidth-constrained routing graph is the full graph."""
+        for link in self._links.values():
+            if not link.can_reserve(required_bps):
+                return False
+        return True
+
+    def cached_route(self, source: str, target: str) -> "object | None":
+        return self._route_cache.get((source, target))
+
+    def store_route(self, source: str, target: str, route: object) -> None:
+        self._route_cache[(source, target)] = route
 
     # -- health ------------------------------------------------------------------------
 

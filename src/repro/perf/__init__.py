@@ -18,7 +18,12 @@ from .baseline import (
     load_baseline,
     load_throughputs,
 )
-from .cache import CacheStats, NegotiationCache
+from .cache import (
+    CacheStats,
+    NegotiationCache,
+    reset_shared_cache,
+    shared_cache,
+)
 from .fingerprint import (
     client_fingerprint,
     cost_model_fingerprint,
@@ -40,4 +45,6 @@ __all__ = [
     "importance_fingerprint",
     "mapper_fingerprint",
     "profile_fingerprint",
+    "reset_shared_cache",
+    "shared_cache",
 ]

@@ -78,6 +78,12 @@ def bench_throughputs(report: Mapping) -> "dict[str, float]":
     throughputs: "dict[str, float]" = {}
     for cell in report.get("cells", ()):
         shape = f"{cell['variants']}^{cell['axes']}"
+        # Catalogue cells (several documents under one popularity skew)
+        # carry a width suffix so they never shadow a single-document
+        # cell of the same shape; pre-catalogue reports omit the key.
+        documents = int(cell.get("documents", 1))
+        if documents > 1:
+            shape += f"x{documents}"
         for label, metrics in cell["configs"].items():
             throughputs[f"{shape}/{label}"] = float(
                 metrics["negotiations_per_s"]

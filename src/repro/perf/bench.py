@@ -2,16 +2,28 @@
 
 Measures negotiation throughput across a matrix of offer-space shapes
 (``variants`` per axis × ``axes`` monomedia, spanning 2–8 variants and
-2–6 axes) and four pipeline configurations — {full sort, best-first
-streaming} × {cache off, cache on} — and writes the result to
-``BENCH_negotiation.json``, the first point of the repo's benchmark
-trajectory.
+2–6 axes) and five pipeline configurations — {full sort, best-first
+streaming} × {cache off, cache on} plus the batched equivalence-class
+engine (``repro.batch``) — and writes the result to
+``BENCH_negotiation.json``, a point on the repo's benchmark trajectory.
+
+Catalogue-scale cells extend the matrix to 8–10 axes and offer spaces
+past a million combinations, spread over several documents requested
+under a Zipf popularity skew — the news-on-demand access pattern where
+batching pays: most requests land on the few hot documents, so the
+batch engine plans each hot class once and fans the walk out.  Those
+cells skip the full-sort configurations (materialising and sorting a
+million-offer space per round is exactly the cost the streaming path
+exists to avoid) and use the streaming run as the equivalence baseline
+instead; their ``max_offers`` bound keeps every run's materialised
+prefix small.
 
 Besides throughput (negotiations/s, classified offers/s, p50/p99 wall
 latency) the bench *asserts outcome equivalence*: every configuration
 must commit the same offer with the same status and the same attempt
-count on every seed scenario, round for round.  A divergence makes the
-run fail (exit 1), which is the CI gate for the streaming path.
+count on every seed scenario, round for round — the batched engine
+included.  A divergence makes the run fail (exit 1), which is the CI
+gate for the streaming and batching paths.
 
 This module intentionally reads the wall clock — it measures real
 compute, not simulated time — so the REP001/REP011 timing bans are
@@ -25,12 +37,15 @@ import json
 from dataclasses import dataclass
 from time import perf_counter  # reprolint: disable=REP001,REP011 -- the bench measures real wall time
 
+import numpy as np
+
+from ..batch import BatchRequest, negotiate_batch
 from ..cmfs.admission import AdmissionController
 from ..cmfs.disk import DiskModel
 from ..cmfs.server import MediaServer
 from ..client.machine import ClientMachine
 from ..core.importance import default_importance
-from ..core.negotiation import QoSManager
+from ..core.negotiation import NegotiationResult, QoSManager
 from ..core.profiles import MMProfile, UserProfile
 from ..documents.builder import DocumentBuilder, MonomediaBuilder
 from ..documents.document import Document
@@ -41,17 +56,20 @@ from ..network.topology import Topology
 from ..network.transport import TransportSystem
 from ..util.clock import ManualClock
 from ..util.errors import ValidationError
+from ..util.rng import make_rng
 from .baseline import (
     DEFAULT_TOLERANCE,
     bench_throughputs,
     compare_throughputs,
     load_baseline,
 )
-from .cache import NegotiationCache
+from .cache import reset_shared_cache, shared_cache
 
 __all__ = [
     "BENCH_CELLS",
+    "CATALOGUE_CELLS",
     "QUICK_CELLS",
+    "QUICK_CATALOGUE_CELLS",
     "SIX_AXIS_CELL",
     "add_bench_arguments",
     "run_bench",
@@ -67,15 +85,33 @@ BENCH_CELLS: "tuple[tuple[int, int], ...]" = (
     (2, 6), (3, 6), (4, 6),
 )
 QUICK_CELLS: "tuple[tuple[int, int], ...]" = ((2, 2), (4, 4), (4, 6))
+# (variants per axis, axes, documents).  Catalogue-scale: million-offer
+# spaces (6^8 ≈ 1.7M, 4^10 ≈ 1.0M, 8^8 ≈ 16.8M — the last one past the
+# vectorization ceiling, so even a cached eager sort is off the table)
+# spread across a small catalogue with Zipf-skewed popularity.
+CATALOGUE_CELLS: "tuple[tuple[int, int, int], ...]" = (
+    (6, 8, 4),
+    (4, 10, 4),
+    (8, 8, 4),
+)
+QUICK_CATALOGUE_CELLS: "tuple[tuple[int, int, int], ...]" = ((4, 10, 4),)
 SIX_AXIS_CELL: "tuple[int, int]" = (4, 6)
 SPEEDUP_THRESHOLD = 5.0
+# Best committed single-config throughput of the seed bench (stream
+# +cache on the hottest cell); the batch engine on the 6-axis cell must
+# beat it by SPEEDUP_THRESHOLD.
+COMMITTED_BEST_NPS = 488.0
+# Above this offer count the eager full-sort configurations are left
+# out: one round would materialise and sort the whole product space.
+FULL_SORT_CEILING = 5_000
 
-CONFIGS: "tuple[tuple[str, str, bool], ...]" = (
-    # (label, offer_mode, cached)
-    ("full", "full", False),
-    ("full+cache", "full", True),
-    ("stream", "stream", False),
-    ("stream+cache", "stream", True),
+CONFIGS: "tuple[tuple[str, str, bool, bool], ...]" = (
+    # (label, offer_mode, cached, batched)
+    ("full", "full", False, False),
+    ("full+cache", "full", True, False),
+    ("stream", "stream", False, False),
+    ("stream+cache", "stream", True, False),
+    ("batch", "stream", True, True),
 )
 
 # The eight bench variant flavours, best-first by construction: the
@@ -95,23 +131,73 @@ _VARIANT_FLAVOURS: "tuple[tuple[ColorMode, int], ...]" = (
 
 _SERVER_IDS = ("server-a", "server-b", "server-c")
 _DURATION_S = 30.0
+_ZIPF_EXPONENT = 1.2
+_SCHEDULE_SEED = 1996
+_CATALOGUE_ROUNDS = 24
+_CATALOGUE_MAX_OFFERS = 64
 
 
-def _bench_document(variants: int, axes: int) -> Document:
+@dataclass(frozen=True)
+class _Cell:
+    """One matrix cell: a document shape plus catalogue knobs."""
+
+    variants: int
+    axes: int
+    documents: int = 1
+    rounds: "int | None" = None
+    max_offers: "int | None" = None
+
+    @property
+    def offer_count(self) -> int:
+        return self.variants ** self.axes
+
+    def default_rounds(self) -> int:
+        if self.rounds is not None:
+            return self.rounds
+        if self.documents > 1:
+            return _CATALOGUE_ROUNDS
+        # The larger cells get *more* rounds, not fewer: the amortised
+        # configurations (cache, batch) need enough rounds past the
+        # shared plan to show their steady state, and the full-sort
+        # configs stay bounded (~seconds) even at 4096 offers.
+        # Enough rounds that sub-millisecond cells measure a window the
+        # scheduler can't dominate.
+        return 32 if self.offer_count <= 256 else 24
+
+
+def _matrix(quick: bool) -> "list[_Cell]":
+    standard = QUICK_CELLS if quick else BENCH_CELLS
+    catalogue = QUICK_CATALOGUE_CELLS if quick else CATALOGUE_CELLS
+    cells = [_Cell(variants, axes) for variants, axes in standard]
+    cells.extend(
+        _Cell(
+            variants, axes, documents=documents,
+            max_offers=_CATALOGUE_MAX_OFFERS,
+        )
+        for variants, axes, documents in catalogue
+    )
+    return cells
+
+
+def _bench_document(variants: int, axes: int, index: int = 0) -> Document:
     """A synthetic document with ``axes`` video monomedia of
-    ``variants`` variants each — offer space of ``variants**axes``."""
+    ``variants`` variants each — offer space of ``variants**axes``.
+    ``index`` distinguishes catalogue siblings of the same shape."""
+    document_id = f"doc.bench-{variants}x{axes}" + (
+        f".d{index + 1}" if index else ""
+    )
     builder = DocumentBuilder(
-        f"doc.bench-{variants}x{axes}",
-        f"bench article {variants} variants x {axes} axes",
+        document_id,
+        f"bench article {variants} variants x {axes} axes #{index + 1}",
     )
     for axis in range(axes):
         mono = MonomediaBuilder(
-            f"doc.bench-{variants}x{axes}.m{axis + 1}",
+            f"{document_id}.m{axis + 1}",
             Medium.VIDEO,
             f"segment {axis + 1}",
             _DURATION_S,
         )
-        for index, (color, frame_rate) in enumerate(
+        for vindex, (color, frame_rate) in enumerate(
             _VARIANT_FLAVOURS[:variants]
         ):
             mono.add_variant(
@@ -121,7 +207,7 @@ def _bench_document(variants: int, axes: int) -> Document:
                     frame_rate=frame_rate,
                     resolution=TV_RESOLUTION,
                 ),
-                _SERVER_IDS[(axis + index) % len(_SERVER_IDS)],
+                _SERVER_IDS[(axis + vindex + index) % len(_SERVER_IDS)],
             )
         builder.add(mono)
     return builder.copyright(0.25).build()
@@ -149,8 +235,25 @@ def _bench_profile() -> UserProfile:
     )
 
 
+def _zipf_schedule(documents: int, rounds: int) -> "list[int]":
+    """The request schedule: which document each round asks for.
+
+    Single-document cells are the degenerate schedule; catalogue cells
+    draw from a Zipf popularity over document ranks with a fixed seed,
+    so every configuration (and every bench run) replays the identical
+    request sequence.
+    """
+    if documents <= 1:
+        return [0] * rounds
+    rng = make_rng(_SCHEDULE_SEED)
+    ranks = np.arange(1, documents + 1, dtype=np.float64)
+    weights = ranks ** -_ZIPF_EXPONENT
+    weights /= weights.sum()
+    return [int(i) for i in rng.choice(documents, size=rounds, p=weights)]
+
+
 def _deployment(
-    document: Document, offer_mode: str, cached: bool
+    documents: "list[Document]", offer_mode: str, cached: bool
 ) -> "tuple[QoSManager, ClientMachine]":
     servers = {
         server_id: MediaServer(
@@ -170,14 +273,19 @@ def _deployment(
         )
     topology.connect("client-net", "backbone", 622e6, link_id="L-client")
     database = MetadataDatabase()
-    database.insert_document(document)
+    for document in documents:
+        database.insert_document(document)
+    # Every configuration starts cold: the process-wide shared cache is
+    # flushed before each run so a cached configuration never inherits
+    # a predecessor's entries.
+    reset_shared_cache()
     manager = QoSManager(
         database=database,
         transport=TransportSystem(topology),
         servers=servers,
         clock=ManualClock(),
         offer_mode=offer_mode,
-        cache=NegotiationCache() if cached else None,
+        cache=shared_cache() if cached else None,
     )
     client = ClientMachine("bench-client", access_point="client-net")
     return manager, client
@@ -209,37 +317,91 @@ class _ConfigRun:
         }
 
 
+def _signature(
+    result: NegotiationResult,
+) -> "tuple[str, str | None, int]":
+    return (
+        result.status.name,
+        result.chosen.offer.offer_id if result.chosen else None,
+        result.attempts,
+    )
+
+
 def _run_config(
-    document: Document, offer_mode: str, cached: bool, rounds: int
+    documents: "list[Document]",
+    schedule: "list[int]",
+    offer_mode: str,
+    cached: bool,
+    *,
+    batched: bool = False,
+    max_offers: "int | None" = None,
 ) -> _ConfigRun:
-    manager, client = _deployment(document, offer_mode, cached)
+    manager, client = _deployment(documents, offer_mode, cached)
     profile = _bench_profile()
-    # One unmeasured warm-up round: the cached configurations are meant
-    # to measure the steady state, not the first-request miss.
-    warmup = manager.negotiate(document.document_id, profile, client)
-    if warmup.commitment is not None:
-        warmup.commitment.reject(manager.clock.now())
+    # One unmeasured warm-up round per requested document: the cached
+    # configurations are meant to measure the steady state, not the
+    # first-request miss.
+    for index in dict.fromkeys(schedule):
+        warmup = manager.negotiate(
+            documents[index].document_id, profile, client,
+            max_offers=max_offers,
+        )
+        if warmup.commitment is not None:
+            warmup.commitment.reject(manager.clock.now())
 
     signatures: "list[tuple[str, str | None, int]]" = []
     latencies: "list[float]" = []
     offers = 0
-    started = perf_counter()  # reprolint: disable=REP001,REP011 -- bench wall time
-    for _ in range(rounds):
-        t0 = perf_counter()  # reprolint: disable=REP001,REP011 -- bench wall time
-        result = manager.negotiate(document.document_id, profile, client)
-        t1 = perf_counter()  # reprolint: disable=REP001,REP011 -- bench wall time
-        latencies.append(t1 - t0)
-        offers += len(result.classified)
-        signatures.append(
-            (
-                result.status.name,
-                result.chosen.offer.offer_id if result.chosen else None,
-                result.attempts,
+    if batched:
+        requests = [
+            BatchRequest(
+                document=documents[index].document_id,
+                profile=profile,
+                client=client,
+                max_offers=max_offers,
+                offer_mode=offer_mode,
             )
-        )
-        if result.commitment is not None:
-            result.commitment.reject(manager.clock.now())
-    elapsed = perf_counter() - started  # reprolint: disable=REP001,REP011 -- bench wall time
+            for index in schedule
+        ]
+        marks: "list[float]" = []
+
+        def after_each(
+            request: BatchRequest, result: NegotiationResult
+        ) -> None:
+            # Reject before the next member walks, so the batched run
+            # replays the sequential run's exact ledger states.
+            if result.commitment is not None:
+                result.commitment.reject(manager.clock.now())
+            marks.append(perf_counter())  # reprolint: disable=REP001,REP011 -- bench wall time
+
+        started = perf_counter()  # reprolint: disable=REP001,REP011 -- bench wall time
+        results = negotiate_batch(manager, requests, after_each=after_each)
+        elapsed = perf_counter() - started  # reprolint: disable=REP001,REP011 -- bench wall time
+        # Per-member latency from the after_each marks; the first mark
+        # also carries the per-class planning, which is the honest
+        # accounting — batching front-loads the shared work.
+        previous = started
+        for mark in marks:
+            latencies.append(mark - previous)
+            previous = mark
+        for result in results:
+            offers += len(result.classified)
+            signatures.append(_signature(result))
+    else:
+        started = perf_counter()  # reprolint: disable=REP001,REP011 -- bench wall time
+        for index in schedule:
+            t0 = perf_counter()  # reprolint: disable=REP001,REP011 -- bench wall time
+            result = manager.negotiate(
+                documents[index].document_id, profile, client,
+                max_offers=max_offers,
+            )
+            t1 = perf_counter()  # reprolint: disable=REP001,REP011 -- bench wall time
+            latencies.append(t1 - t0)
+            offers += len(result.classified)
+            signatures.append(_signature(result))
+            if result.commitment is not None:
+                result.commitment.reject(manager.clock.now())
+        elapsed = perf_counter() - started  # reprolint: disable=REP001,REP011 -- bench wall time
     return _ConfigRun(
         signatures=signatures,
         latencies_s=latencies,
@@ -252,30 +414,43 @@ def run_bench(
     *, quick: bool = False, rounds: "int | None" = None
 ) -> "dict[str, object]":
     """Run the full matrix; return the report dict (see module doc)."""
-    cells = QUICK_CELLS if quick else BENCH_CELLS
     report_cells: "list[dict[str, object]]" = []
     all_equivalent = True
     speedups: "dict[str, float]" = {}
+    six_axis_batch_nps: "float | None" = None
 
-    for variants, axes in cells:
-        document = _bench_document(variants, axes)
-        offer_count = variants ** axes
-        cell_rounds = rounds or (12 if offer_count <= 256 else 6)
+    for cell in _matrix(quick):
+        documents = [
+            _bench_document(cell.variants, cell.axes, index)
+            for index in range(cell.documents)
+        ]
+        cell_rounds = rounds or cell.default_rounds()
+        schedule = _zipf_schedule(cell.documents, cell_rounds)
         runs: "dict[str, _ConfigRun]" = {}
-        for label, offer_mode, cached in CONFIGS:
+        for label, offer_mode, cached, batched in CONFIGS:
+            if (
+                cell.offer_count > FULL_SORT_CEILING
+                and offer_mode == "full"
+            ):
+                continue
             runs[label] = _run_config(
-                document, offer_mode, cached, cell_rounds
+                documents, schedule, offer_mode, cached,
+                batched=batched, max_offers=cell.max_offers,
             )
-        baseline = runs["full"].signatures
+        baseline_label = "full" if "full" in runs else "stream"
+        baseline = runs[baseline_label].signatures
         equivalent = all(
             run.signatures == baseline for run in runs.values()
         )
         all_equivalent = all_equivalent and equivalent
         cell_report: "dict[str, object]" = {
-            "variants": variants,
-            "axes": axes,
-            "offer_count": offer_count,
+            "variants": cell.variants,
+            "axes": cell.axes,
+            "documents": cell.documents,
+            "offer_count": cell.offer_count,
             "rounds": cell_rounds,
+            "max_offers": cell.max_offers,
+            "baseline_config": baseline_label,
             "first_committed": baseline[0][1] if baseline else None,
             "status": baseline[0][0] if baseline else None,
             "equivalent": equivalent,
@@ -285,7 +460,10 @@ def run_bench(
             },
         }
         report_cells.append(cell_report)
-        if (variants, axes) == SIX_AXIS_CELL:
+        if (
+            (cell.variants, cell.axes) == SIX_AXIS_CELL
+            and cell.documents == 1
+        ):
             full = runs["full"].metrics(cell_rounds)["negotiations_per_s"]
             fast = runs["stream+cache"].metrics(cell_rounds)[
                 "negotiations_per_s"
@@ -293,8 +471,16 @@ def run_bench(
             speedups["six_axis_stream_cache_vs_full"] = (
                 fast / full if full else 0.0
             )
+            six_axis_batch_nps = runs["batch"].metrics(cell_rounds)[
+                "negotiations_per_s"
+            ]
 
     six_axis_speedup = speedups.get("six_axis_stream_cache_vs_full")
+    batch_speedup = (
+        six_axis_batch_nps / COMMITTED_BEST_NPS
+        if six_axis_batch_nps is not None
+        else None
+    )
     return {
         "schema": "bench-negotiation/v1",
         "command": "python -m repro bench" + (" --quick" if quick else ""),
@@ -309,6 +495,13 @@ def run_bench(
                 six_axis_speedup is None
                 or six_axis_speedup >= SPEEDUP_THRESHOLD
             ),
+            "six_axis_batch_negotiations_per_s": six_axis_batch_nps,
+            "committed_best_negotiations_per_s": COMMITTED_BEST_NPS,
+            "six_axis_batch_speedup_vs_committed": batch_speedup,
+            "six_axis_batch_ok": (
+                batch_speedup is None
+                or batch_speedup >= SPEEDUP_THRESHOLD
+            ),
         },
     }
 
@@ -316,7 +509,7 @@ def run_bench(
 def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--quick", action="store_true",
-        help="small 3-cell matrix (CI-friendly)",
+        help="small 4-cell matrix (CI-friendly)",
     )
     parser.add_argument(
         "--rounds", type=int, default=None,
@@ -328,8 +521,9 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--require-speedup", action="store_true",
-        help="also fail when the 6-axis streaming+cache speedup is "
-        "below the threshold (only meaningful on quiet machines)",
+        help="also fail when the 6-axis streaming+cache or batch "
+        "speedup is below the threshold (only meaningful on quiet "
+        "machines)",
     )
     parser.add_argument(
         "--baseline", default=None, metavar="PATH",
@@ -363,6 +557,7 @@ def run_bench_command(args: argparse.Namespace) -> int:
     summary = report["summary"]
     assert isinstance(summary, dict)
     speedup = summary["six_axis_speedup_stream_cache_vs_full"]
+    batch_speedup = summary["six_axis_batch_speedup_vs_committed"]
     print(f"wrote {args.output}")
     for cell in report["cells"]:  # type: ignore[union-attr]
         assert isinstance(cell, dict)
@@ -372,8 +567,11 @@ def run_bench_command(args: argparse.Namespace) -> int:
             f"{label}={metrics['negotiations_per_s']:.0f}/s"
             for label, metrics in configs.items()
         )
+        shape = f"{cell['variants']}^{cell['axes']}"
+        if cell["documents"] != 1:
+            shape += f"x{cell['documents']}"
         print(
-            f"  {cell['variants']}^{cell['axes']}"
+            f"  {shape}"
             f" ({cell['offer_count']} offers, {cell['status']}):"
             f" {line}"
         )
@@ -382,10 +580,18 @@ def run_bench_command(args: argparse.Namespace) -> int:
             f"6-axis streaming+cache speedup vs full sort: {speedup:.1f}x "
             f"(threshold {SPEEDUP_THRESHOLD}x)"
         )
+    if batch_speedup is not None:
+        print(
+            f"6-axis batch vs committed best "
+            f"({COMMITTED_BEST_NPS:.0f}/s): {batch_speedup:.1f}x "
+            f"(threshold {SPEEDUP_THRESHOLD}x)"
+        )
     if not summary["all_outcomes_equivalent"]:
         print("FAIL: negotiation outcomes diverged between configurations")
         return 1
-    if args.require_speedup and not summary["six_axis_speedup_ok"]:
+    if args.require_speedup and not (
+        summary["six_axis_speedup_ok"] and summary["six_axis_batch_ok"]
+    ):
         print("FAIL: 6-axis speedup below threshold")
         return 1
     if baseline is not None:
@@ -411,7 +617,7 @@ def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro bench",
         description="negotiation throughput benchmark "
-        "(streaming vs full sort, cache on/off)",
+        "(streaming vs full sort vs batch, cache on/off)",
     )
     add_bench_arguments(parser)
     return run_bench_command(parser.parse_args(argv))

@@ -24,8 +24,22 @@ the caller (``QoSManager``), which is the only place that knows.
 
 Hits, misses and evictions are counted both on :class:`CacheStats`
 (always, for tests and the bench) and through the telemetry hub under
-``cache.hits`` / ``cache.misses`` / ``cache.evictions`` with a
-``store`` label.
+``cache.hits`` / ``cache.misses`` / ``cache.evictions`` /
+``cache.flushes`` with a ``store`` label.  Explicit :meth:`clear`
+flushes are deliberately *not* evictions: the SLO layer reads the
+eviction-rate series as a capacity-pressure signal, and a test or
+shutdown flush would pollute it.
+
+Concurrent misses of one key are **single-flight**: the first task to
+miss becomes the owner and computes; cooperative tasks that arrive
+while the owner is suspended mid-compute observe the in-flight marker
+via :meth:`_LRUStore.begin`, yield, and re-poll until the owner
+publishes — so N simultaneous requests for one cold hot-document key
+cost exactly one miss and one build.
+
+The process-wide instance lives behind :func:`shared_cache`; reprolint
+REP018 flags any private ``NegotiationCache(...)`` constructed outside
+this module so cross-client reuse is the default, not an accident.
 """
 
 from __future__ import annotations
@@ -52,15 +66,24 @@ from .fingerprint import (
     profile_fingerprint,
 )
 
-__all__ = ["CacheStats", "NegotiationCache"]
+__all__ = [
+    "CacheStats",
+    "NegotiationCache",
+    "shared_cache",
+    "reset_shared_cache",
+]
 
 SPACES = "spaces"
 CLASSIFICATIONS = "classifications"
 
+HIT = "hit"
+OWNER = "owner"
+WAIT = "wait"
+
 
 @dataclass
 class CacheStats:
-    """Per-store hit/miss/eviction counters."""
+    """Per-store hit/miss/eviction/flush counters."""
 
     hits: dict[str, int] = field(
         default_factory=lambda: {SPACES: 0, CLASSIFICATIONS: 0}
@@ -71,12 +94,16 @@ class CacheStats:
     evictions: dict[str, int] = field(
         default_factory=lambda: {SPACES: 0, CLASSIFICATIONS: 0}
     )
+    flushes: dict[str, int] = field(
+        default_factory=lambda: {SPACES: 0, CLASSIFICATIONS: 0}
+    )
 
     def as_dict(self) -> dict[str, dict[str, int]]:
         return {
             "hits": dict(self.hits),
             "misses": dict(self.misses),
             "evictions": dict(self.evictions),
+            "flushes": dict(self.flushes),
         }
 
 
@@ -100,25 +127,65 @@ class _LRUStore:
         self._stats = stats
         self._telemetry = telemetry
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._inflight: set[Hashable] = set()
 
     def __len__(self) -> int:
         return len(self._entries)
 
-    def lookup(self, key: Hashable, compute: "Callable[[], object]") -> object:
+    # -- single-flight protocol ----------------------------------------------------
+
+    def begin(self, key: Hashable) -> "tuple[str, object | None]":
+        """Open a single-flight lookup: ``(state, value)``.
+
+        ``HIT`` carries the cached value.  ``OWNER`` means the caller
+        must compute and then call :meth:`complete` (or :meth:`abandon`
+        on failure) — the miss is counted here, exactly once per
+        flight.  ``WAIT`` means another task owns the in-flight
+        computation; cooperative callers yield and call ``begin``
+        again.
+        """
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
             self._stats.hits[self.name] += 1
             self._telemetry.count("cache.hits", store=self.name)
-            return entry
+            return HIT, entry
+        if key in self._inflight:
+            return WAIT, None
+        self._inflight.add(key)
         self._stats.misses[self.name] += 1
         self._telemetry.count("cache.misses", store=self.name)
-        value = compute()
+        return OWNER, None
+
+    def complete(self, key: Hashable, value: object) -> object:
+        """Publish an owner's computed value and close the flight."""
+        self._inflight.discard(key)
         self._entries[key] = value
         if len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self._evicted(1)
         return value
+
+    def abandon(self, key: Hashable) -> None:
+        """Close a flight without publishing (owner's compute failed);
+        the next ``begin`` promotes a waiter to owner."""
+        self._inflight.discard(key)
+
+    def lookup(self, key: Hashable, compute: "Callable[[], object]") -> object:
+        state, entry = self.begin(key)
+        if state == HIT:
+            return entry
+        if state == WAIT:
+            # A suspended cooperative task owns this key.  A synchronous
+            # caller cannot yield, so it computes for itself without
+            # touching the counters or the store — the owner publishes.
+            return compute()
+        try:
+            value = compute()
+        except BaseException:  # reprolint: backstop -- abandon the in-flight marker on any failure, then re-raise
+            self.abandon(key)
+            raise
+        return self.complete(key, value)
 
     def drop_where(self, predicate: "Callable[[Hashable], bool]") -> int:
         doomed = [key for key in self._entries if predicate(key)]
@@ -129,13 +196,20 @@ class _LRUStore:
         return len(doomed)
 
     def clear(self) -> None:
+        """Flush every entry.  Counted under ``cache.flushes`` — an
+        explicit flush is not capacity pressure, and the SLO layer's
+        eviction-rate series must not see it."""
         if self._entries:
-            self._evicted(len(self._entries))
+            self._flushed(len(self._entries))
         self._entries.clear()
 
     def _evicted(self, count: int) -> None:
         self._stats.evictions[self.name] += count
         self._telemetry.count("cache.evictions", float(count), store=self.name)
+
+    def _flushed(self, count: int) -> None:
+        self._stats.flushes[self.name] += count
+        self._telemetry.count("cache.flushes", float(count), store=self.name)
 
 
 class NegotiationCache:
@@ -190,6 +264,19 @@ class NegotiationCache:
         assert isinstance(space, OfferSpace)
         return space
 
+    @staticmethod
+    def classification_key(
+        space_key: "tuple[str, int, str, str, str, str]",
+        profile: UserProfile,
+        importance: ImportanceProfile,
+        policy: ClassificationPolicy,
+    ) -> tuple:
+        return space_key + (
+            profile_fingerprint(profile),
+            importance_fingerprint(importance),
+            policy.value,
+        )
+
     def classification(
         self,
         space_key: "tuple[str, int, str, str, str, str]",
@@ -199,14 +286,23 @@ class NegotiationCache:
         compute: "Callable[[], ClassificationArrays]",
     ) -> ClassificationArrays:
         """The cached classification arrays for one (space, user) pair."""
-        key = space_key + (
-            profile_fingerprint(profile),
-            importance_fingerprint(importance),
-            policy.value,
-        )
+        key = self.classification_key(space_key, profile, importance, policy)
         arrays = self._classifications.lookup(key, compute)
         assert isinstance(arrays, ClassificationArrays)
         return arrays
+
+    # -- single-flight access ------------------------------------------------------
+
+    @property
+    def spaces(self) -> _LRUStore:
+        """The spaces store, for cooperative single-flight callers."""
+        return self._spaces
+
+    @property
+    def classifications(self) -> _LRUStore:
+        """The classifications store, for cooperative single-flight
+        callers."""
+        return self._classifications
 
     # -- maintenance --------------------------------------------------------------
 
@@ -233,3 +329,36 @@ class NegotiationCache:
             SPACES: len(self._spaces),
             CLASSIFICATIONS: len(self._classifications),
         }
+
+
+# -- the process-wide shared cache ------------------------------------------------
+#
+# One cache per process is the point of fingerprint keys: they already
+# exclude client identity, so every manager/service/storm instance can
+# (and should) share entries.  ``shared_cache()`` is the sanctioned
+# accessor — reprolint REP018 flags ``NegotiationCache(...)`` calls
+# anywhere else, so private caches must justify themselves.
+
+_shared: "NegotiationCache | None" = None
+
+
+def shared_cache(telemetry: "Telemetry | None" = None) -> NegotiationCache:
+    """The process-wide :class:`NegotiationCache`, created on first use.
+
+    ``telemetry`` only matters on the creating call; later callers get
+    the existing instance unchanged (the cache's own ``stats`` counters
+    are always live regardless).
+    """
+    global _shared
+    if _shared is None:
+        _shared = NegotiationCache(telemetry=telemetry)
+    return _shared
+
+
+def reset_shared_cache() -> "NegotiationCache | None":
+    """Drop the shared instance (tests; telemetry rewiring).  Returns
+    the old instance so a caller can drain its stats."""
+    global _shared
+    old = _shared
+    _shared = None
+    return old

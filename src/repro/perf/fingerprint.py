@@ -76,11 +76,24 @@ def cost_model_fingerprint(model: CostModel) -> str:
 
 
 def mapper_fingerprint(mapper: QoSMapper) -> str:
-    """QoS→flow-spec mapping fingerprint."""
-    return digest(
-        f"{type(mapper).__name__}:"
-        f"{(mapper.discrete_window_s, mapper.rate_scale)!r}"
-    )
+    """QoS→flow-spec mapping fingerprint.
+
+    Keys on the full class identity (module + qualname, so two
+    same-named mappers in different modules never share entries) plus
+    the mapper's declared ``fingerprint_state()``.  A subclass that
+    adds state without overriding the hook gets its entire repr folded
+    in — conservative (cosmetic repr changes split the key) but never
+    wrong, which is the right trade for a correctness-critical cache
+    key.
+    """
+    cls = type(mapper)
+    state: object = mapper.fingerprint_state()
+    if (
+        cls is not QoSMapper
+        and cls.fingerprint_state is QoSMapper.fingerprint_state
+    ):
+        state = (state, repr(mapper))
+    return digest(f"{cls.__module__}.{cls.__qualname__}:{state!r}")
 
 
 def profile_fingerprint(profile: UserProfile) -> str:

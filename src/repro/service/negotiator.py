@@ -191,6 +191,7 @@ class NegotiationService:
         scheduler_seed: RngLike = 0,
         seed: RngLike = 0,
         telemetry: "Telemetry | None" = None,
+        coalesce: bool = True,
     ) -> None:
         if telemetry is None:
             telemetry = manager.telemetry
@@ -199,6 +200,7 @@ class NegotiationService:
         self.policy = policy or ServicePolicy()
         self.gate = gate
         self.telemetry = telemetry
+        self.coalesce = coalesce
         self.scheduler = CooperativeScheduler(
             loop, seed=scheduler_seed, telemetry=telemetry
         )
@@ -206,6 +208,13 @@ class NegotiationService:
         self.requests: "list[ServiceRequest]" = []
         self._rng = make_rng(seed)
         self._inflight = 0
+        # Same-tick plan coalescing: class key → shared steps-1–4 plan,
+        # valid only at the tick it was computed (cleared on advance).
+        # Planning is pure, so sharing the plan cannot change any walk;
+        # it only removes the N−1 redundant plan computations when a
+        # burst of equivalent requests lands between two yields.
+        self._plan_memo: "dict[tuple, object]" = {}
+        self._plan_tick: "float | None" = None
 
     # -- submission ----------------------------------------------------------------
 
@@ -323,6 +332,67 @@ class NegotiationService:
                 },
             )
 
+    # -- same-tick plan coalescing ---------------------------------------------------
+
+    def _plan_coalesced(
+        self,
+        document_id: str,
+        profile: "UserProfile",
+        client: "ClientMachine",
+    ):
+        """Steps 1–4 for one request, sharing the plan with any other
+        request of the same capability equivalence class that planned
+        at this scheduler tick.
+
+        Plans are pure (no ledger reads), so a shared plan is
+        content-identical to a private one and the walk outcomes are
+        byte-exact with ``coalesce=False``; only the redundant
+        classification work disappears.  Unbatchable requests (user
+        preferences) always plan privately.
+        """
+        from ..batch.classes import BatchRequest, request_class_key
+        from ..batch.engine import _ClassPlan, _ReplayableStream
+
+        manager = self.manager
+        max_offers = self.policy.max_offers
+
+        def plan_fresh():
+            return manager.plan(
+                document_id, profile, client, max_offers=max_offers
+            )
+
+        if not self.coalesce:
+            return plan_fresh()
+        key = request_class_key(
+            manager,
+            BatchRequest(
+                document=document_id,
+                profile=profile,
+                client=client,
+                max_offers=max_offers,
+            ),
+        )
+        if key is None:
+            return plan_fresh()
+        now = self.loop.now
+        if self._plan_tick != now:
+            self._plan_tick = now
+            self._plan_memo.clear()
+        shared = self._plan_memo.get(key)
+        if shared is None:
+            plan = plan_fresh()
+            stream = None
+            if plan.stream is not None:
+                # Stream-mode managers plan lazily; wrap the stream so
+                # every coalesced member replays it from the beginning.
+                stream = _ReplayableStream(plan.stream)
+            shared = _ClassPlan(plan=plan, shared_stream=stream)
+            self._plan_memo[key] = shared
+        else:
+            self.telemetry.count("batch.coalesced", site="service")
+        assert isinstance(shared, _ClassPlan)
+        return shared.member_plan()
+
     # -- the cooperative procedure -------------------------------------------------
 
     def _negotiation_task(
@@ -346,9 +416,7 @@ class NegotiationService:
             yield Sleep(policy.plan_s)
         else:
             yield Switch()
-        plan = manager.plan(
-            document_id, profile, client, max_offers=policy.max_offers
-        )
+        plan = self._plan_coalesced(document_id, profile, client)
         if request.context is not None:
             # Steps 1–4: the Sleep(plan_s) charge plus the atomic plan.
             telemetry.tracer.emit(

@@ -228,7 +228,10 @@ def build_scenario(
     if use_cache:
         from ..perf.cache import NegotiationCache
 
-        cache = NegotiationCache(telemetry=telemetry)
+        # Deliberately private, not shared_cache(): every scenario is a
+        # hermetic deployment whose cache counters must start cold, and
+        # its telemetry hub is scenario-scoped.
+        cache = NegotiationCache(telemetry=telemetry)  # reprolint: disable=REP018 -- hermetic per-scenario cache with scenario-scoped telemetry
     manager = QoSManager(
         database=database,
         transport=transport,

@@ -136,6 +136,19 @@ METRICS: "tuple[MetricSpec, ...]" = (
     _counter("cache.evictions", "entries",
              "negotiation cache entries evicted (LRU or invalidation), "
              "by store", "store"),
+    _counter("cache.flushes", "entries",
+             "negotiation cache entries discarded by an explicit "
+             "clear(), by store — kept apart from cache.evictions so "
+             "the SLO eviction-rate series only sees capacity pressure",
+             "store"),
+    # -- batch negotiation engine (repro.batch) --------------------------------------
+    _counter("batch.plans", "plans",
+             "equivalence-class plans computed once by the batch "
+             "engine and fanned out to every member"),
+    _counter("batch.coalesced", "requests",
+             "negotiation requests that reused an equivalence-class "
+             "plan instead of replanning, by site (batch/service/"
+             "storm)", "site"),
     # -- substrate ledgers ----------------------------------------------------------
     _counter("server.streams.reserved", "streams",
              "stream admissions granted, by server", "server"),
@@ -164,6 +177,10 @@ METRICS: "tuple[MetricSpec, ...]" = (
     _histogram("negotiation.offers.classified", "offers",
                "feasible offers classified per negotiation",
                (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)),
+    _histogram("batch.class_size", "requests",
+               "pending requests fanned out per capability equivalence "
+               "class in one batch negotiation",
+               (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)),
     _histogram("storm.wave.batch_size", "sessions",
                "sessions re-reserved per capability-class batch in one "
                "storm wave",

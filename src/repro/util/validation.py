@@ -32,9 +32,15 @@ def require(condition: bool, message: str) -> None:
         raise ValidationError(message)
 
 
+# These helpers sit on the admission/reservation hot path (every link
+# reserve and flow-spec construction runs through them), so the finite
+# check is inlined — one ``math.isfinite`` call, no helper indirection.
+_isfinite = math.isfinite
+
+
 def _finite(value: float, what: str) -> float:
     value = float(value)
-    if math.isnan(value) or math.isinf(value):
+    if not _isfinite(value):
         raise ValidationError(f"{what} must be finite, got {value!r}")
     return value
 
@@ -48,7 +54,9 @@ def check_range(
     integer: bool = False,
 ) -> float:
     """Check ``lo <= value <= hi``; optionally require an integral value."""
-    value = _finite(value, what)
+    value = float(value)
+    if not _isfinite(value):
+        raise ValidationError(f"{what} must be finite, got {value!r}")
     if integer and value != int(value):
         raise ValidationError(f"{what} must be an integer, got {value!r}")
     if not (lo <= value <= hi):
@@ -65,7 +73,9 @@ def check_at_least(
     comparison silently passes NaN — ``NaN < lo`` is False — which is
     exactly the hole it replaces.
     """
-    value = _finite(value, what)
+    value = float(value)
+    if not _isfinite(value):
+        raise ValidationError(f"{what} must be finite, got {value!r}")
     if integer and value != int(value):
         raise ValidationError(f"{what} must be an integer, got {value!r}")
     if value < lo:
@@ -74,14 +84,18 @@ def check_at_least(
 
 
 def check_positive(value: float, what: str) -> float:
-    value = _finite(value, what)
+    value = float(value)
+    if not _isfinite(value):
+        raise ValidationError(f"{what} must be finite, got {value!r}")
     if value <= 0:
         raise ValidationError(f"{what} must be positive, got {value!r}")
     return value
 
 
 def check_non_negative(value: float, what: str) -> float:
-    value = _finite(value, what)
+    value = float(value)
+    if not _isfinite(value):
+        raise ValidationError(f"{what} must be finite, got {value!r}")
     if value < 0:
         raise ValidationError(f"{what} must be non-negative, got {value!r}")
     return value

@@ -32,6 +32,7 @@ RULE_FIXTURES = {
         "passing/repro/session/rep010_pass.py",
     ),
     "REP011": ("flagging/rep011_flag.py", "passing/rep011_pass.py"),
+    "REP018": ("flagging/rep018_flag.py", "passing/rep018_pass.py"),
 }
 
 

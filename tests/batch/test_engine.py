@@ -1,0 +1,229 @@
+"""The batch engine end to end: byte-exact with the sequential procedure.
+
+``negotiate_batch`` must be observably identical to ``[negotiate(r) for
+r in requests]`` — per-request ``(status, offer id, attempts)``, in
+submission order, against the same evolving ledgers — while planning
+once per capability class.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.batch import BatchRequest, negotiate_batch
+from repro.core import ProfileManager
+from repro.core.preferences import UserPreferences
+from repro.core.status import NegotiationStatus
+from repro.perf.cache import CLASSIFICATIONS, SPACES
+from repro.sim import ScenarioSpec, build_scenario
+
+SPEC = ScenarioSpec(server_count=2, client_count=3, document_count=3)
+
+
+def signature(result):
+    return (
+        result.status.name,
+        result.chosen.offer.offer_id if result.chosen else None,
+        result.attempts,
+    )
+
+
+def make_requests(scenario, profiles=("balanced", "premium"), repeat=3):
+    """A head-heavy mix: every (document, profile) pair requested by
+    ``repeat`` distinct clients — distinct identities, one capability
+    class per pair."""
+    manager = ProfileManager()
+    clients = list(scenario.clients.values())
+    requests = []
+    for document_id in scenario.document_ids():
+        for name in profiles:
+            profile = manager.get(name)
+            for index in range(repeat):
+                requests.append(
+                    BatchRequest(
+                        document=document_id,
+                        profile=profile,
+                        client=clients[index % len(clients)],
+                        tag=f"{document_id}:{name}:{index}",
+                    )
+                )
+    return requests
+
+
+def run_sequential(scenario, requests, release=False):
+    signatures = []
+    for request in requests:
+        result = scenario.manager.negotiate(
+            request.document, request.profile, request.client
+        )
+        signatures.append(signature(result))
+        if release and result.commitment is not None:
+            result.commitment.reject(scenario.manager.clock.now())
+    return signatures
+
+
+def run_batched(scenario, requests, release=False):
+    def after_each(request, result):
+        if release and result.commitment is not None:
+            result.commitment.reject(scenario.manager.clock.now())
+
+    results = negotiate_batch(
+        scenario.manager, requests, after_each=after_each
+    )
+    return [signature(result) for result in results]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("use_cache", [False, True])
+    def test_batched_equals_sequential_accumulating(self, use_cache):
+        """No releases: reservations pile up, later walks see scarcer
+        ledgers, and the batched walk must see exactly the same ones."""
+        sequential = build_scenario(SPEC)
+        batched = build_scenario(SPEC, use_cache=use_cache)
+        requests = make_requests(sequential)
+        assert run_batched(batched, requests) == run_sequential(
+            sequential, requests
+        )
+
+    @pytest.mark.parametrize("offer_mode", ["full", "stream"])
+    def test_batched_equals_sequential_steady_state(self, offer_mode):
+        """Reject-after-each: every member walks pristine ledgers, the
+        bench's configuration."""
+        sequential = build_scenario(SPEC, offer_mode=offer_mode)
+        batched = build_scenario(SPEC, offer_mode=offer_mode, use_cache=True)
+        requests = make_requests(sequential)
+        assert run_batched(batched, requests, release=True) == run_sequential(
+            sequential, requests, release=True
+        )
+
+    def test_mixed_modes_and_bounds(self):
+        sequential = build_scenario(SPEC)
+        batched = build_scenario(SPEC)
+        base = make_requests(sequential, repeat=2)
+        requests = []
+        for index, request in enumerate(base):
+            if index % 3 == 1:
+                request = replace(request, max_offers=2)
+            elif index % 3 == 2:
+                request = replace(request, offer_mode="stream")
+            requests.append(request)
+        expected = []
+        for request in requests:
+            result = sequential.manager.negotiate(
+                request.document,
+                request.profile,
+                request.client,
+                max_offers=request.max_offers,
+                offer_mode=request.offer_mode,
+            )
+            expected.append(signature(result))
+        assert run_batched(batched, requests) == expected
+
+
+class TestFallback:
+    def test_unbatchable_requests_keep_their_slot(self):
+        scenario = build_scenario(SPEC, telemetry_seed=0)
+        profile = ProfileManager().get("balanced")
+        quirky = replace(
+            profile,
+            preferences=UserPreferences(
+                server_preference={"server-a": 1.0}
+            ),
+        )
+        client = scenario.any_client()
+        document_id = scenario.document_ids()[0]
+        requests = [
+            BatchRequest(document_id, profile, client, tag="plain-1"),
+            BatchRequest(document_id, quirky, client, tag="quirky"),
+            BatchRequest(document_id, profile, client, tag="plain-2"),
+        ]
+        results = negotiate_batch(scenario.manager, requests)
+        assert len(results) == 3
+        assert all(
+            result.status is NegotiationStatus.SUCCEEDED
+            for result in results
+        )
+        # Two batchable members → one plan; the preference request fell
+        # back to plain negotiate in its slot and never joined a class.
+        metrics = scenario.telemetry.metrics
+        assert metrics.counter_value("batch.plans") == 1
+        assert metrics.counter_value("batch.coalesced", site="batch") == 1
+
+
+class TestAfterEach:
+    def test_called_once_per_request_in_order(self):
+        scenario = build_scenario(SPEC)
+        requests = make_requests(scenario, repeat=2)
+        seen = []
+
+        def after_each(request, result):
+            seen.append(request.tag)
+            if result.commitment is not None:
+                result.commitment.release()
+
+        negotiate_batch(scenario.manager, requests, after_each=after_each)
+        assert seen == [request.tag for request in requests]
+
+    def test_runs_before_the_next_member_walks(self):
+        """Releasing inside after_each must restore the ledgers before
+        the next walk — so every member of a class lands on the same
+        offer, which only holds if the callback really runs in between."""
+        scenario = build_scenario(ScenarioSpec(server_count=1, client_count=1))
+
+        def after_each(request, result):
+            if result.commitment is not None:
+                result.commitment.release()
+
+        requests = make_requests(scenario, profiles=("balanced",), repeat=4)
+        results = negotiate_batch(
+            scenario.manager, requests, after_each=after_each
+        )
+        offers = {signature(result) for result in results[:4]}
+        assert len(offers) == 1
+        assert scenario.topology.total_reserved_bps() == 0.0
+
+
+class TestSharedClassification:
+    def test_preseed_charges_one_miss_per_class(self):
+        """Several classes over one offer space: the SoA pass classifies
+        them together, each class costs exactly the one classification
+        miss the sequential path would have charged, and the per-class
+        plan is then a pure hit."""
+        scenario = build_scenario(
+            ScenarioSpec(server_count=2, client_count=2, document_count=1),
+            use_cache=True,
+        )
+        document_id = scenario.document_ids()[0]
+        client = scenario.any_client()
+        manager = ProfileManager()
+        requests = [
+            BatchRequest(document_id, manager.get(name), client)
+            for name in ("balanced", "premium", "economy")
+            for _ in range(2)
+        ]
+        results = negotiate_batch(
+            scenario.manager,
+            requests,
+            after_each=lambda request, result: (
+                result.commitment.release()
+                if result.commitment is not None
+                else None
+            ),
+        )
+        cache = scenario.manager.cache
+        assert cache.stats.misses[SPACES] == 1
+        assert cache.stats.misses[CLASSIFICATIONS] == 3
+        # The three per-class plans all hit the preseeded rows.
+        assert cache.stats.hits[CLASSIFICATIONS] >= 3
+        assert all(
+            result.status is NegotiationStatus.SUCCEEDED
+            for result in results
+        )
+
+    def test_preseeded_outcomes_match_uncached(self):
+        cached = build_scenario(SPEC, use_cache=True)
+        plain = build_scenario(SPEC)
+        requests = make_requests(cached)
+        assert run_batched(cached, requests, release=True) == run_batched(
+            plain, requests, release=True
+        )

@@ -1,0 +1,88 @@
+"""The topology's route memo: exact while unconstrained, bypassed after.
+
+The memo is only sound because link cost weights are static: while no
+link is bandwidth-constrained for the queried rate, the constrained
+Dijkstra graph IS the full graph, so the cached answer is exactly what
+the search would return.  The moment any link cannot take the rate, the
+memo must be bypassed; the moment the graph changes, dropped.
+"""
+
+import pytest
+
+from repro.network import Topology
+from repro.network.routing import find_route
+from repro.util.errors import NoRouteError
+
+
+@pytest.fixture
+def diamond():
+    """Two competing paths A→D: via B (cheap links) and via C."""
+    topo = Topology()
+    topo.connect("A", "B", 100e6, cost_weight=1.0, link_id="L-ab")
+    topo.connect("B", "D", 100e6, cost_weight=1.0, link_id="L-bd")
+    topo.connect("A", "C", 100e6, cost_weight=5.0, link_id="L-ac")
+    topo.connect("C", "D", 100e6, cost_weight=5.0, link_id="L-cd")
+    return topo
+
+
+class TestMemoisation:
+    def test_repeat_query_returns_the_memoised_route(self, diamond):
+        first = find_route(diamond, "A", "D", 10e6)
+        second = find_route(diamond, "A", "D", 10e6)
+        assert first.nodes == ("A", "B", "D")
+        assert second is first
+
+    def test_constrained_rate_bypasses_the_memo(self, diamond):
+        find_route(diamond, "A", "D", 10e6)
+        # A rate the cheap path cannot take: the memoised route must
+        # not be served, the search must detour via C.
+        diamond.link("L-bd").reserve(95e6, "t")
+        detour = find_route(diamond, "A", "D", 10e6)
+        assert detour.nodes == ("A", "C", "D")
+
+    def test_constrained_answers_are_not_stored(self, diamond):
+        held = diamond.link("L-bd").reserve(95e6, "t")
+        find_route(diamond, "A", "D", 10e6)
+        diamond.link("L-bd").release(held)
+        # Headroom is back: the detour must not have poisoned the memo.
+        assert find_route(diamond, "A", "D", 10e6).nodes == ("A", "B", "D")
+
+    def test_congestion_bypasses_the_memo(self, diamond):
+        find_route(diamond, "A", "D", 60e6)
+        diamond.link("L-ab").set_congestion(0.5)
+        assert find_route(diamond, "A", "D", 60e6).nodes == ("A", "C", "D")
+
+    def test_new_link_invalidates(self, diamond):
+        assert find_route(diamond, "A", "D", 10e6).nodes == ("A", "B", "D")
+        diamond.connect("A", "D", 100e6, cost_weight=0.5, link_id="L-ad")
+        assert find_route(diamond, "A", "D", 10e6).nodes == ("A", "D")
+
+
+class TestEquivalence:
+    def test_memoised_equals_fresh_search(self, diamond):
+        """Every (source, target) pair answered from the memo equals a
+        cold topology's answer, route and QoS alike."""
+        nodes = ("A", "B", "C", "D")
+        warm = {
+            (s, t): find_route(diamond, s, t, 10e6)
+            for s in nodes
+            for t in nodes
+            if s != t
+        }
+        # Warm pass again: now everything is served from the memo.
+        for (s, t), route in warm.items():
+            memoised = find_route(diamond, s, t, 10e6)
+            assert memoised is route
+            cold = Topology()
+            cold.connect("A", "B", 100e6, cost_weight=1.0, link_id="L-ab")
+            cold.connect("B", "D", 100e6, cost_weight=1.0, link_id="L-bd")
+            cold.connect("A", "C", 100e6, cost_weight=5.0, link_id="L-ac")
+            cold.connect("C", "D", 100e6, cost_weight=5.0, link_id="L-cd")
+            fresh = find_route(cold, s, t, 10e6)
+            assert memoised.nodes == fresh.nodes
+            assert memoised.qos == fresh.qos
+
+    def test_no_route_still_raises(self, diamond):
+        diamond.connect("X", "Y", 100e6, link_id="L-xy")
+        with pytest.raises(NoRouteError):
+            find_route(diamond, "A", "X", 10e6)

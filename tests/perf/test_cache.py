@@ -138,6 +138,34 @@ class TestEviction:
         assert cache.entry_counts == {SPACES: 0, CLASSIFICATIONS: 0}
 
 
+class TestFlushAccounting:
+    """Explicit flushes are not capacity pressure: ``clear()`` counts
+    under ``cache.flushes``, never ``cache.evictions`` — the SLO layer
+    reads the eviction-rate series as a pressure signal and a shutdown
+    or test flush must not pollute it."""
+
+    @pytest.fixture
+    def warm_cache(self, scenario):
+        _negotiate(scenario)
+        return scenario.manager.cache
+
+    def test_clear_counts_flushes_not_evictions(self, warm_cache):
+        warm_cache.clear()
+        assert warm_cache.stats.flushes == {SPACES: 1, CLASSIFICATIONS: 1}
+        assert warm_cache.stats.evictions == {SPACES: 0, CLASSIFICATIONS: 0}
+
+    def test_flush_telemetry_series_are_separate(self, scenario, warm_cache):
+        warm_cache.clear()
+        metrics = scenario.telemetry.metrics
+        assert metrics.counter_value("cache.flushes", store=SPACES) == 1
+        assert metrics.counter_value("cache.evictions", store=SPACES) == 0
+
+    def test_empty_clear_counts_nothing(self, warm_cache):
+        warm_cache.clear()
+        warm_cache.clear()
+        assert warm_cache.stats.flushes == {SPACES: 1, CLASSIFICATIONS: 1}
+
+
 class TestFingerprints:
     def test_client_identity_excluded(self):
         first = ClientMachine("alice", access_point="net-1")
@@ -204,7 +232,8 @@ def test_bench_quick_smoke(tmp_path):
     assert code == 0
     report = json.loads(output.read_text())
     assert report["summary"]["all_outcomes_equivalent"]
-    assert len(report["cells"]) == 3
+    # Three standard quick cells plus one catalogue-scale cell.
+    assert len(report["cells"]) == 4
     for cell in report["cells"]:
         assert cell["equivalent"]
         assert cell["status"] == "SUCCEEDED"

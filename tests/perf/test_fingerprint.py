@@ -1,0 +1,85 @@
+"""Mapper fingerprints: the subclass-collision regression.
+
+``mapper_fingerprint`` used to key on the declared state alone, so a
+``QoSMapper`` subclass adding mapping state without overriding
+``fingerprint_state()`` collided with its parent (and with differently
+configured instances of itself) — two mappers that compute different
+flow specs shared cache entries.  The fix keys on the full class
+identity plus ``fingerprint_state()``, with a repr fallback for
+subclasses that forgot the override.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.mapping import QoSMapper
+from repro.perf.fingerprint import mapper_fingerprint
+
+
+@dataclass(frozen=True, slots=True)
+class ForgetfulMapper(QoSMapper):
+    """Adds mapping state but does NOT override fingerprint_state —
+    the shape of the original collision."""
+
+    headroom: float = 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class DiligentMapper(QoSMapper):
+    """Adds mapping state and extends the parent's fingerprint."""
+
+    headroom: float = 1.0
+
+    def fingerprint_state(self) -> object:
+        # slots=True recreates the class, so zero-arg super() is out.
+        return (QoSMapper.fingerprint_state(self), self.headroom)
+
+
+class TestMapperCollisions:
+    def test_subclass_never_collides_with_parent(self):
+        base = QoSMapper()
+        assert mapper_fingerprint(ForgetfulMapper()) != mapper_fingerprint(base)
+        assert mapper_fingerprint(DiligentMapper()) != mapper_fingerprint(base)
+
+    def test_forgotten_override_still_splits_on_state(self):
+        """The regression proper: two ForgetfulMapper instances whose
+        declared state is identical but whose added state differs must
+        not share a fingerprint — the repr fallback folds the extra
+        field in."""
+        assert mapper_fingerprint(
+            ForgetfulMapper(headroom=1.0)
+        ) != mapper_fingerprint(ForgetfulMapper(headroom=2.0))
+
+    def test_overriding_subclass_splits_on_state(self):
+        assert mapper_fingerprint(
+            DiligentMapper(headroom=1.0)
+        ) != mapper_fingerprint(DiligentMapper(headroom=2.0))
+
+    def test_structural_equality_shares_entries(self):
+        assert mapper_fingerprint(
+            DiligentMapper(rate_scale=1.5, headroom=2.0)
+        ) == mapper_fingerprint(DiligentMapper(rate_scale=1.5, headroom=2.0))
+        assert mapper_fingerprint(QoSMapper()) == mapper_fingerprint(
+            QoSMapper()
+        )
+
+    def test_same_name_different_module_splits(self):
+        """Class identity is module-qualified: a same-named mapper from
+        another module never shares entries."""
+        namespace = {"__name__": "tests.perf.fake_mapper_module"}
+        exec(  # a second, distinct ForgetfulMapper "module"
+            "from dataclasses import dataclass\n"
+            "from repro.core.mapping import QoSMapper\n"
+            "@dataclass(frozen=True, slots=True)\n"
+            "class ForgetfulMapper(QoSMapper):\n"
+            "    headroom: float = 1.0\n",
+            namespace,
+        )
+        impostor = namespace["ForgetfulMapper"]()
+        assert mapper_fingerprint(impostor) != mapper_fingerprint(
+            ForgetfulMapper()
+        )
+
+    def test_base_mapper_state_splits(self):
+        assert mapper_fingerprint(QoSMapper()) != mapper_fingerprint(
+            QoSMapper(rate_scale=1.1)
+        )

@@ -1,0 +1,120 @@
+"""Fingerprint laws, property-tested.
+
+A cache key fingerprint has two obligations, and violating either is a
+correctness bug — one direction causes false sharing (wrong offers
+served from another input's entry), the other silent cache misses:
+
+* **structural soundness** — structurally equal inputs always share a
+  fingerprint, no matter where the objects were built;
+* **state sensitivity** — any change to classification-relevant state
+  changes the fingerprint, while identity-only attributes (client id,
+  access point, profile name) never do.
+"""
+
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.client.machine import ClientMachine
+from repro.core.mapping import QoSMapper
+from repro.core.profile_manager import make_profile, standard_profiles
+from repro.documents.media import ColorMode
+from repro.documents.quality import VideoQoS
+from repro.perf.fingerprint import (
+    client_fingerprint,
+    digest,
+    mapper_fingerprint,
+    profile_fingerprint,
+)
+from .strategies import video_qos
+
+PROFILES = standard_profiles()
+
+names = st.text(
+    alphabet=st.characters(min_codepoint=ord("a"), max_codepoint=ord("z")),
+    min_size=1,
+    max_size=12,
+)
+identities = st.tuples(names, names)
+capabilities = st.fixed_dictionaries(
+    {
+        "screen_width": st.integers(min_value=320, max_value=1920),
+        "screen_height": st.integers(min_value=240, max_value=1080),
+        "screen_color": st.sampled_from(list(ColorMode)),
+        "max_frame_rate": st.integers(min_value=1, max_value=60),
+        "audio_output": st.booleans(),
+        "interface_bps": st.floats(min_value=1e6, max_value=1e9),
+    }
+)
+mapper_params = st.fixed_dictionaries(
+    {
+        "discrete_window_s": st.floats(min_value=0.1, max_value=30.0),
+        "rate_scale": st.floats(min_value=0.1, max_value=4.0),
+    }
+)
+
+
+class TestClientFingerprint:
+    @given(capabilities, identities, identities)
+    @settings(max_examples=50, deadline=None)
+    def test_identity_never_enters(self, caps, first, second):
+        one = ClientMachine(first[0], access_point=first[1], **caps)
+        two = ClientMachine(second[0], access_point=second[1], **caps)
+        assert client_fingerprint(one) == client_fingerprint(two)
+
+    @given(capabilities, capabilities)
+    @settings(max_examples=50, deadline=None)
+    def test_capability_changes_split(self, caps, other_caps):
+        one = ClientMachine("a", **caps)
+        two = ClientMachine("b", **other_caps)
+        same = caps == other_caps
+        assert (client_fingerprint(one) == client_fingerprint(two)) == same
+
+
+class TestMapperFingerprint:
+    @given(mapper_params, mapper_params)
+    @settings(max_examples=50, deadline=None)
+    def test_equal_iff_structurally_equal(self, params, other_params):
+        one, two = QoSMapper(**params), QoSMapper(**other_params)
+        assert (mapper_fingerprint(one) == mapper_fingerprint(two)) == (
+            one == two
+        )
+
+
+class TestProfileFingerprint:
+    @given(st.sampled_from(PROFILES), names)
+    @settings(max_examples=25, deadline=None)
+    def test_name_never_enters(self, profile, name):
+        assert profile_fingerprint(
+            replace(profile, name=name)
+        ) == profile_fingerprint(profile)
+
+    @given(video_qos, video_qos)
+    @settings(max_examples=50, deadline=None)
+    def test_qos_bounds_split(self, desired, other_desired):
+        worst = VideoQoS(
+            color=ColorMode.BLACK_AND_WHITE, frame_rate=1, resolution=10
+        )
+        one = make_profile("p", desired_video=desired, worst_video=worst)
+        two = make_profile("p", desired_video=other_desired, worst_video=worst)
+        assert (
+            profile_fingerprint(one) == profile_fingerprint(two)
+        ) == (desired == other_desired)
+
+    @given(st.sampled_from(PROFILES))
+    @settings(max_examples=10, deadline=None)
+    def test_rebuilt_standard_profiles_share(self, profile):
+        rebuilt = next(
+            p for p in standard_profiles() if p.name == profile.name
+        )
+        assert rebuilt is not profile
+        assert profile_fingerprint(rebuilt) == profile_fingerprint(profile)
+
+
+class TestDigest:
+    @given(st.text(max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_deterministic_and_fixed_width(self, payload):
+        assert digest(payload) == digest(payload)
+        assert len(digest(payload)) == 16

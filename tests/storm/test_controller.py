@@ -99,3 +99,64 @@ class TestClassBatching:
         session.result.offer_space = None
         batches = StormController._batch_by_class([session])
         assert set(batches) == {("?", "offer-1")}
+
+
+def stub_candidate(offer_id, servers=()):
+    return SimpleNamespace(
+        offer=SimpleNamespace(
+            offer_id=offer_id,
+            servers_used=lambda servers=frozenset(servers): servers,
+        )
+    )
+
+
+class TestClassPlanMemo:
+    """The cross-wave class-plan memo: a storm that hits the same class
+    wave after wave rediscovers nothing, and any change in the degraded
+    set invalidates the memo wholesale."""
+
+    def classified_session(self, calls, offer_ids=("offer-1", "offer-2", "offer-3")):
+        session = stub_session("s1", "doc.a", "offer-1")
+        candidates = [stub_candidate(offer_id) for offer_id in offer_ids]
+
+        def ensure_classified():
+            calls.append("classify")
+            return candidates
+
+        session.result.ensure_classified = ensure_classified
+        return session
+
+    def test_second_wave_reuses_the_candidate_list(self, runtime):
+        controller = StormController(runtime, seed=1)
+        calls = []
+        session = self.classified_session(calls)
+        first = controller._class_candidates(session)
+        second = controller._class_candidates(session)
+        assert second is first
+        assert calls == ["classify"]
+        # The current offer is never its own alternate.
+        assert [c.offer.offer_id for c in first] == ["offer-2", "offer-3"]
+
+    def test_degraded_set_change_invalidates(self, runtime, manager):
+        controller = StormController(runtime, seed=1)
+        calls = []
+        session = self.classified_session(calls)
+        controller._class_candidates(session)
+        next(iter(manager.committer.servers.values())).set_degradation(0.5)
+        controller._class_candidates(session)
+        # The healthy/tainted split depends on the degraded set, so the
+        # memo must not survive it.
+        assert calls == ["classify", "classify"]
+
+    def test_degraded_servers_sort_behind_healthy(self, runtime, manager):
+        controller = StormController(runtime, seed=1)
+        degraded_id = next(iter(manager.committer.servers))
+        manager.committer.servers[degraded_id].set_degradation(0.5)
+        session = stub_session("s1", "doc.a", "offer-0")
+        tainted = stub_candidate("offer-1", servers={degraded_id})
+        healthy = stub_candidate("offer-2")
+        session.result.ensure_classified = lambda: [tainted, healthy]
+        picked = controller._class_candidates(session)
+        assert [c.offer.offer_id for c in picked] == ["offer-2", "offer-1"]
+        # And the reordered list is what later waves replay.
+        assert controller._class_candidates(session) is picked
